@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure/table of the paper at the
+``bench`` scale preset, asserts its shape checks, and writes the rendered
+ASCII figure to ``benchmarks/output/<experiment>.txt`` so the regenerated
+evaluation can be inspected and diffed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> str:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_figure(output_dir):
+    """Write an experiment's rendered output to the artifacts directory."""
+
+    def _record(result) -> None:
+        path = os.path.join(output_dir, f"{result.experiment}.txt")
+        with open(path, "w") as handle:
+            handle.write(result.render() + "\n")
+
+    return _record
+
+
+def run_and_check(benchmark, entry, record_figure, **options):
+    """Benchmark one experiment driver and assert its shape checks."""
+    result = benchmark.pedantic(
+        lambda: entry(**options), rounds=1, iterations=1
+    )
+    record_figure(result)
+    failures = [check.render() for check in result.checks if not check.passed]
+    assert not failures, "shape checks failed:\n" + "\n".join(failures)
+    return result

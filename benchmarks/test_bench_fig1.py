@@ -1,0 +1,29 @@
+"""Figure 1 benchmarks: the practicality challenges.
+
+Left: coverage vs. correlation-table entries for an idealized
+address-correlating prefetcher (the on-chip storage wall).
+Right: overhead traffic of the prior off-chip designs (EBCP/ULMT/TSE)
+computed from their published per-event costs and our measured MLP.
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig1_entries, fig1_prior_traffic
+
+
+def test_fig1_left(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig1_entries.run, record_figure, scale="bench"
+    )
+    averaged = result.data["average"]
+    assert max(averaged) >= 0.3
+
+
+def test_fig1_right(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig1_prior_traffic.run, record_figure, scale="bench"
+    )
+    totals = [
+        series["total"] for series in result.data["overheads"].values()
+    ]
+    # Paper: overhead traffic on the order of 3x baseline reads.
+    assert sum(totals) / len(totals) >= 1.5

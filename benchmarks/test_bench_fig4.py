@@ -1,0 +1,20 @@
+"""Figure 4 benchmark: performance potential of idealized TMS.
+
+Regenerates both panels (coverage and speedup) over all eight paper
+workloads at the ``bench`` scale.
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig4_potential
+
+
+def test_fig4_potential(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig4_potential.run, record_figure, scale="bench"
+    )
+    coverage = result.data["coverage"]
+    speedup = result.data["speedup"]
+    # The paper's headline ordering: sci >= commercial > dss.
+    assert coverage["sci-em3d"] > coverage["web-apache"]
+    assert coverage["web-apache"] > coverage["dss-db2"]
+    assert speedup["sci-em3d"] == max(speedup.values())

@@ -1,0 +1,30 @@
+"""Figure 5 benchmarks: meta-data storage requirements.
+
+History-buffer sweep (smooth commercial growth, bimodal scientific) and
+index-table sweep (growth to saturation under in-bucket LRU).
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig5_storage
+
+
+def test_fig5_history(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig5_storage.run_history, record_figure, scale="bench"
+    )
+    coverage = result.data["coverage"]
+    # Scientific coverage must be bimodal: tiny at the smallest history,
+    # near-max at the largest.
+    for name in ("sci-em3d", "sci-ocean"):
+        series = coverage[name]
+        assert series[-1] >= 0.5
+        assert series[0] <= 0.5 * series[-1]
+
+
+def test_fig5_index(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig5_storage.run_index, record_figure, scale="bench"
+    )
+    coverage = result.data["coverage"]
+    for series in coverage.values():
+        assert series[-1] >= series[0]

@@ -1,0 +1,29 @@
+"""Figure 6 benchmarks: amortizing lookups over long streams.
+
+Streamed-block CDF by stream length (left) and coverage loss from fixed
+prefetch depth (right).
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig6_amortize
+
+
+def test_fig6_cdf(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig6_amortize.run_cdf, record_figure, scale="bench"
+    )
+    for name, median in result.data["weighted_median"].items():
+        # Paper: half the streamed blocks come from streams of ~10+.
+        assert median >= 4, f"{name} weighted median {median}"
+
+
+def test_fig6_depth(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig6_amortize.run_depth, record_figure, scale="bench"
+    )
+    loss = result.data["loss"]
+    depths = result.data["depths"]
+    shallow = depths.index(min(depths))
+    for name, series in loss.items():
+        # Fragmentation hurts at published depths.
+        assert series[shallow] >= series[-1]

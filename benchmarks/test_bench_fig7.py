@@ -1,0 +1,28 @@
+"""Figure 7 benchmark: overhead-traffic breakdown, 100% vs 12.5% sampling.
+
+All eight workloads, the paper's two sampling points, four overhead
+categories each.
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig7_traffic
+
+
+def test_fig7_traffic(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig7_traffic.run, record_figure, scale="bench"
+    )
+    breakdowns = result.data["breakdowns"]
+    # Geomean update-traffic reduction should approach the 8x sampling
+    # factor (paper reports a geomean total meta-data reduction of 3.4x).
+    ratios = []
+    for name, per_probability in breakdowns.items():
+        full = per_probability[1.0]["update"]
+        sampled = per_probability[0.125]["update"]
+        if sampled > 0:
+            ratios.append(full / sampled)
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    geomean = product ** (1.0 / len(ratios))
+    assert geomean >= 3.0

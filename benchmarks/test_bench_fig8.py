@@ -1,0 +1,19 @@
+"""Figure 8 benchmark: sampling-probability sensitivity sweep."""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig8_sampling
+
+
+def test_fig8_sampling(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig8_sampling.run, record_figure, scale="bench"
+    )
+    probabilities = result.data["probabilities"]
+    update = result.data["update_traffic"]
+    # Update traffic must scale roughly linearly with p for every
+    # workload: the 1.0 point should be several times the 0.125 point.
+    idx_full = probabilities.index(1.0)
+    idx_op = probabilities.index(0.125)
+    for name, series in update.items():
+        if series[idx_op] > 0.01:
+            assert series[idx_full] >= 3.0 * series[idx_op], name

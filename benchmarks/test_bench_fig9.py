@@ -1,0 +1,27 @@
+"""Figure 9 benchmark: practical STMS vs. idealized TMS (the headline).
+
+Coverage (with the full/partial split) and speedup for all eight
+workloads, baseline vs. ideal vs. off-chip STMS.
+"""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import fig9_performance
+from repro.experiments.common import geometric_mean
+
+
+def test_fig9_performance(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, fig9_performance.run, record_figure, scale="bench"
+    )
+    data = result.data
+    ratios = [
+        min(1.0, entry["stms_coverage"] / entry["ideal_coverage"])
+        for entry in data.values()
+        if entry["ideal_coverage"] > 0.05
+    ]
+    # Paper: ~90% of idealized coverage; scaled traces give streams
+    # fewer recurrences, so the bar here is 65% (see EXPERIMENTS.md).
+    assert geometric_mean(ratios) >= 0.65
+    # No workload may be slowed down by STMS.
+    for name, entry in data.items():
+        assert entry["stms_speedup"] >= 0.97, name

@@ -1,0 +1,15 @@
+"""Table 2 benchmark: MLP of off-chip reads per workload."""
+
+from benchmarks.conftest import run_and_check
+from repro.experiments import table2_mlp
+
+
+def test_table2_mlp(benchmark, record_figure):
+    result = run_and_check(
+        benchmark, table2_mlp.run, record_figure, scale="bench"
+    )
+    mlp = result.data["mlp"]
+    # The paper's ordering relations.
+    assert mlp["sci-moldyn"] <= 1.15
+    assert mlp["sci-em3d"] >= mlp["sci-ocean"]
+    assert mlp["dss-db2"] >= mlp["oltp-db2"]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Index-table design space: why STMS uses single-block buckets.
+
+The paper (Sections 4.3, 5.4) reports examining open-address hashing,
+chained buckets, and tree structures before settling on the bucketized
+probabilistic hash table.  This example replays a real workload's index
+event stream (a lookup per off-chip miss, a sampled update after it)
+through three organizations and prints the trade:
+
+* chained buckets never forget — but lookups walk multiple memory
+  blocks, delaying the first prefetch of every stream;
+* open addressing is storage-bounded — but probing costs extra
+  accesses and displacement is uncontrolled;
+* the bucketized table answers every lookup with exactly one memory
+  access and ages entries LRU within each bucket.
+
+Run: ``python examples/index_organizations.py``
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.history_buffer import HistoryPointer
+from repro.core.index_variants import compare_organizations
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.runner import make_sim_config
+from repro.workloads.suite import generate
+
+SAMPLING = 0.125
+
+
+def main() -> None:
+    print("Collecting the off-chip miss sequence of 'oltp-db2' "
+          "(demo scale)...")
+    trace = generate("oltp-db2", scale="demo", cores=4, seed=7)
+    base = make_sim_config("demo")
+    config = SimConfig(
+        cmp=base.cmp, dram=base.dram, timing=base.timing,
+        use_stride=base.use_stride, collect_miss_log=True,
+    )
+    result = Simulator(config).run(trace, None, "baseline")
+
+    rng = np.random.default_rng(3)
+    events = []
+    sequence = 0
+    for core, log in enumerate(result.miss_log):
+        for block in log:
+            events.append(("lookup", block, None))
+            if rng.random() < SAMPLING:
+                events.append(
+                    ("update", block,
+                     HistoryPointer(core=core, sequence=sequence))
+                )
+            sequence += 1
+    print(f"Replaying {len(events)} index events through three "
+          "organizations...\n")
+
+    comparisons = compare_organizations(events, buckets=1024)
+    rows = [
+        [
+            c.name,
+            f"{c.accesses_per_lookup:.2f}",
+            f"{c.hit_rate:.3f}",
+            f"{c.storage_bytes / 1024:.0f} KB",
+            c.dropped_entries,
+        ]
+        for c in comparisons
+    ]
+    print(
+        format_table(
+            ["organization", "mem accesses/lookup", "hit rate", "storage",
+             "entries dropped"],
+            rows,
+            title="Index-table organizations on one workload's events",
+        )
+    )
+    print()
+    print(
+        "The bucketized table bounds every lookup to one memory access "
+        "— the property that keeps STMS's stream-start latency at two "
+        "round trips.  Chains buy hit rate with latency and unbounded "
+        "storage; open addressing pays probe accesses under load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""OLTP deep dive: where STMS coverage and traffic come from.
+
+Walks through the paper's practicality story on a TPC-C-style trace:
+
+1. temporal-stream structure of the baseline's off-chip miss sequence
+   (stream-length CDF, Fig. 6 left),
+2. STMS meta-data storage budget (on-chip vs. main-memory, Section 5.3),
+3. coverage with the full/partial split (Fig. 9 left),
+4. overhead-traffic breakdown with and without probabilistic update
+   (Fig. 7).
+
+Run: ``python examples/oltp_streaming.py``
+"""
+
+from repro import PrefetcherKind
+from repro.analysis.report import format_percent, format_table, series_table
+from repro.analysis.streams import (
+    extract_streams,
+    merge_statistics,
+    stream_length_cdf,
+)
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.runner import make_sim_config, make_stms_config, run_trace
+from repro.workloads.suite import generate
+
+WORKLOAD = "oltp-db2"
+SCALE = "demo"
+
+
+def analyze_streams(trace) -> None:
+    print("1. Temporal streams in the baseline miss sequence")
+    base = make_sim_config(SCALE)
+    config = SimConfig(
+        cmp=base.cmp, dram=base.dram, timing=base.timing,
+        use_stride=base.use_stride, collect_miss_log=True,
+    )
+    result = Simulator(config).run(trace, None, "baseline")
+    statistics = merge_statistics(
+        [extract_streams(log) for log in result.miss_log]
+    )
+    cdf = stream_length_cdf(statistics, [2, 5, 10, 50, 200, 10_000])
+    print(
+        series_table(
+            "stream length <=",
+            [str(p) for p, _ in cdf],
+            {"cum. % streamed blocks": [f for _, f in cdf]},
+        )
+    )
+    print(
+        f"   {statistics.stream_count} streams over "
+        f"{statistics.total_misses} misses; block-weighted median "
+        f"length {statistics.weighted_median_length():.0f}\n"
+    )
+
+
+def show_storage(config) -> None:
+    print("2. STMS storage budget (scaled)")
+    print(
+        format_table(
+            ["structure", "location", "bytes"],
+            [
+                ["prefetch buffers + queues + bucket buffer", "on chip",
+                 config.on_chip_bytes],
+                ["history buffers (4 cores)", "main memory",
+                 config.history_bytes_total],
+                ["index table", "main memory", config.index_bytes],
+            ],
+        )
+    )
+    ratio = config.metadata_bytes / config.on_chip_bytes
+    print(f"   meta-data is {ratio:.0f}x the on-chip budget\n")
+
+
+def compare(trace) -> None:
+    print("3. Coverage and speedup: ideal vs. off-chip STMS")
+    baseline = run_trace(trace, PrefetcherKind.BASELINE, scale=SCALE)
+    ideal = run_trace(trace, PrefetcherKind.IDEAL_TMS, scale=SCALE)
+    stms = run_trace(trace, PrefetcherKind.STMS, scale=SCALE)
+    rows = [
+        ["ideal (on-chip meta-data)",
+         format_percent(ideal.coverage.coverage), "-",
+         f"{ideal.speedup_over(baseline):.3f}x"],
+        ["STMS (off-chip meta-data)",
+         format_percent(stms.coverage.coverage),
+         format_percent(stms.coverage.partial_coverage),
+         f"{stms.speedup_over(baseline):.3f}x"],
+    ]
+    print(format_table(
+        ["design", "coverage", "partial share", "speedup"], rows
+    ))
+    print()
+
+
+def traffic_breakdown(trace) -> None:
+    print("4. Overhead traffic: un-optimized vs. probabilistic update")
+    rows = []
+    for probability in (1.0, 0.125):
+        config = make_stms_config(
+            SCALE, cores=trace.cores, sampling_probability=probability
+        )
+        result = run_trace(
+            trace, PrefetcherKind.STMS, scale=SCALE, stms_config=config
+        )
+        breakdown = result.traffic
+        rows.append(
+            [
+                format_percent(probability, digits=1),
+                f"{breakdown.record_streams:.3f}",
+                f"{breakdown.update_index:.3f}",
+                f"{breakdown.lookup_streams:.3f}",
+                f"{breakdown.erroneous_prefetch:.3f}",
+                f"{breakdown.total:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["sampling", "record", "update", "lookup", "erroneous",
+             "total (bytes/useful byte)"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    print(f"Generating {WORKLOAD!r} at the '{SCALE}' scale...\n")
+    trace = generate(WORKLOAD, scale=SCALE, cores=4, seed=7)
+    analyze_streams(trace)
+    show_storage(make_stms_config(SCALE, cores=4))
+    compare(trace)
+    traffic_breakdown(trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scientific workloads: bimodal history-size behaviour (paper Fig. 5).
+
+Scientific codes revisit the same miss sequence every outer iteration,
+so the history buffer either captures a whole iteration (near-perfect
+coverage) or it doesn't (almost none).  This example sweeps the per-core
+history capacity on an em3d-style trace and shows the cliff, then
+contrasts it with the smooth growth of a commercial workload.
+
+Run: ``python examples/scientific_iteration.py``
+"""
+
+from repro import PrefetcherKind
+from repro.analysis.report import format_percent, series_table
+from repro.sim.runner import make_stms_config, run_trace
+from repro.workloads.suite import generate
+
+SIZES = (1_024, 2_048, 4_096, 8_192, 16_384, 32_768)
+
+
+def sweep(workload: str) -> list:
+    trace = generate(workload, scale="demo", cores=4, seed=7)
+    coverage = []
+    for entries in SIZES:
+        config = make_stms_config(
+            "demo",
+            cores=4,
+            history_entries=entries,
+            sampling_probability=1.0,
+            index_buckets=4_096,
+        )
+        result = run_trace(
+            trace, PrefetcherKind.STMS, scale="demo", stms_config=config
+        )
+        coverage.append(result.coverage.coverage)
+    return coverage
+
+
+def main() -> None:
+    print("Sweeping per-core history capacity (demo scale)...\n")
+    sci = sweep("sci-em3d")
+    commercial = sweep("oltp-db2")
+    print(
+        series_table(
+            "history entries/core",
+            list(SIZES),
+            {"sci-em3d": sci, "oltp-db2": commercial},
+            title="coverage vs. history-buffer capacity",
+        )
+    )
+    print()
+    cliff = next(
+        (
+            f"between {SIZES[i]} and {SIZES[i + 1]} entries"
+            for i in range(len(SIZES) - 1)
+            if sci[i + 1] - sci[i] > 0.3
+        ),
+        "outside the swept range",
+    )
+    print(
+        f"em3d coverage jumps {cliff}: once the history holds one full "
+        "iteration, nearly every miss is predicted "
+        f"(final coverage {format_percent(sci[-1])})."
+    )
+    print(
+        "The commercial workload instead grows smoothly — transactions "
+        "have a whole spectrum of reuse distances."
+    )
+
+
+if __name__ == "__main__":
+    main()

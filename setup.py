@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` to build a
+PEP 660 editable wheel; offline machines without it can fall back to
+``pip install -e . --no-use-pep517 --no-build-isolation`` which runs this
+file through ``setup.py develop`` instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Offline analyses and reporting: temporal-stream statistics, MLP, and
+ASCII rendering of the paper's figures.
+"""
+
+from repro.analysis.mlp import measure_mlp, measure_suite_mlp
+from repro.analysis.report import (
+    bar_chart,
+    format_percent,
+    format_table,
+    grouped_bar_chart,
+    series_table,
+)
+from repro.analysis.streams import (
+    StreamStatistics,
+    extract_streams,
+    stream_length_cdf,
+)
+
+__all__ = [
+    "measure_mlp",
+    "measure_suite_mlp",
+    "bar_chart",
+    "format_percent",
+    "format_table",
+    "grouped_bar_chart",
+    "series_table",
+    "StreamStatistics",
+    "extract_streams",
+    "stream_length_cdf",
+]

@@ -1,0 +1,222 @@
+"""Command-line interface: run workloads, comparisons, and experiments.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro run --workload oltp-db2 --prefetcher stms --scale demo
+    python -m repro compare --workload sci-em3d --scale demo
+    python -m repro experiment fig9 --scale bench --output fig9.txt
+    python -m repro sweep-sampling --workload web-apache --scale demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import format_percent, format_table
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.sim.metrics import SimResult
+from repro.sim.runner import (
+    PrefetcherKind,
+    compare_prefetchers,
+    make_stms_config,
+    run_workload,
+)
+from repro.workloads.suite import SCALES, WORKLOADS, workload_names
+
+
+def _result_rows(results: "dict[PrefetcherKind, SimResult]") -> list:
+    baseline = results.get(PrefetcherKind.BASELINE)
+    rows = []
+    for kind, result in results.items():
+        speedup = (
+            f"{result.speedup_over(baseline):.3f}x"
+            if baseline is not None
+            else "-"
+        )
+        rows.append(
+            [
+                kind.value,
+                format_percent(result.coverage.coverage),
+                format_percent(result.coverage.partial_coverage),
+                speedup,
+                f"{result.overhead_per_useful_byte:.3f}",
+                f"{result.mlp:.2f}",
+            ]
+        )
+    return rows
+
+
+def _print_results(
+    workload: str, results: "dict[PrefetcherKind, SimResult]"
+) -> None:
+    print(
+        format_table(
+            ["prefetcher", "coverage", "partial", "speedup",
+             "overhead/byte", "mlp"],
+            _result_rows(results),
+            title=f"{workload}",
+        )
+    )
+
+
+def cmd_list_workloads(_: argparse.Namespace) -> int:
+    rows = [
+        [
+            name,
+            WORKLOADS[name].category,
+            WORKLOADS[name].display,
+            WORKLOADS[name].paper_mlp,
+            format_percent(WORKLOADS[name].paper_ideal_coverage),
+        ]
+        for name in workload_names()
+    ]
+    print(
+        format_table(
+            ["name", "category", "display", "paper MLP",
+             "paper ideal coverage"],
+            rows,
+            title="Paper workload suite (scaled synthetic analogues)",
+        )
+    )
+    return 0
+
+
+def cmd_list_experiments(_: argparse.Namespace) -> int:
+    rows = [[name] for name in sorted(EXPERIMENTS)]
+    print(format_table(["experiment"], rows, title="Available experiments"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kind = PrefetcherKind(args.prefetcher)
+    stms_config = None
+    if kind is PrefetcherKind.STMS:
+        stms_config = make_stms_config(
+            args.scale,
+            cores=args.cores,
+            sampling_probability=args.sampling,
+        )
+    result = run_workload(
+        args.workload,
+        kind,
+        scale=args.scale,
+        cores=args.cores,
+        seed=args.seed,
+        stms_config=stms_config,
+    )
+    _print_results(args.workload, {kind: result})
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = compare_prefetchers(
+        args.workload, scale=args.scale, cores=args.cores, seed=args.seed
+    )
+    _print_results(args.workload, results)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name, scale=args.scale)
+    rendered = result.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0 if result.passed else 1
+
+
+def cmd_sweep_sampling(args: argparse.Namespace) -> int:
+    from repro.experiments import fig8_sampling
+
+    result = fig8_sampling.run(
+        scale=args.scale, cores=args.cores, seed=args.seed,
+        workloads=(args.workload,),
+    )
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STMS (HPCA 2009) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale", default="demo", choices=sorted(SCALES),
+            help="scale preset (default: demo)",
+        )
+        sub.add_argument("--cores", type=int, default=4)
+        sub.add_argument("--seed", type=int, default=7)
+
+    sub = subparsers.add_parser(
+        "list-workloads", help="show the workload suite"
+    )
+    sub.set_defaults(entry=cmd_list_workloads)
+
+    sub = subparsers.add_parser(
+        "list-experiments", help="show available experiments"
+    )
+    sub.set_defaults(entry=cmd_list_experiments)
+
+    sub = subparsers.add_parser("run", help="simulate one prefetcher")
+    sub.add_argument("--workload", required=True,
+                     choices=sorted(WORKLOADS))
+    sub.add_argument(
+        "--prefetcher",
+        default="stms",
+        choices=[kind.value for kind in PrefetcherKind],
+    )
+    sub.add_argument(
+        "--sampling", type=float, default=0.125,
+        help="STMS index-update sampling probability",
+    )
+    add_common(sub)
+    sub.set_defaults(entry=cmd_run)
+
+    sub = subparsers.add_parser(
+        "compare", help="baseline vs ideal vs STMS on one workload"
+    )
+    sub.add_argument("--workload", required=True,
+                     choices=sorted(WORKLOADS))
+    add_common(sub)
+    sub.set_defaults(entry=cmd_compare)
+
+    sub = subparsers.add_parser(
+        "experiment", help="regenerate one paper figure/table"
+    )
+    sub.add_argument("name", choices=sorted(EXPERIMENTS))
+    sub.add_argument("--output", help="write the rendered figure here")
+    sub.add_argument(
+        "--scale", default="bench", choices=sorted(SCALES),
+        help="scale preset (default: bench)",
+    )
+    sub.set_defaults(entry=cmd_experiment)
+
+    sub = subparsers.add_parser(
+        "sweep-sampling", help="Fig. 8 sweep on one workload"
+    )
+    sub.add_argument("--workload", required=True,
+                     choices=sorted(WORKLOADS))
+    add_common(sub)
+    sub.set_defaults(entry=cmd_sweep_sampling)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.entry(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Sampled Temporal Memory Streaming (STMS) — the paper's contribution.
+
+The subpackage implements the three mechanisms that make off-chip
+prefetcher meta-data practical:
+
+* :mod:`repro.core.index_table` — a hardware-managed, bucketized hash
+  table in main memory whose buckets fit one 64-byte memory block
+  (12 entries, in-bucket LRU), giving single-access lookup.
+* :mod:`repro.core.sampling` — probabilistic update: index-table writes
+  are applied with a configurable sampling probability, trading a small
+  coverage loss for a proportional bandwidth reduction.
+* :mod:`repro.core.history_buffer` — per-core circular miss logs with
+  packed block-granularity writes and end-of-stream annotations; split
+  from the index so one lookup can feed arbitrarily long streams.
+
+:class:`repro.core.stms.StmsPrefetcher` wires these together with the
+on-chip bucket buffer (:mod:`repro.core.bucket_buffer`) and per-core
+stream engines (:mod:`repro.core.stream_engine`).
+"""
+
+from repro.core.bucket_buffer import BucketBuffer
+from repro.core.codec import (
+    HISTORY_ENTRIES_PER_BLOCK,
+    INDEX_ENTRIES_PER_BUCKET,
+    pack_history_block,
+    pack_index_bucket,
+    unpack_history_block,
+    unpack_index_bucket,
+)
+from repro.core.config import StmsConfig
+from repro.core.history_buffer import HistoryBuffer, HistoryEntry, HistoryPointer
+from repro.core.index_table import IndexTable
+from repro.core.index_variants import (
+    ChainedIndexTable,
+    OpenAddressIndexTable,
+    compare_organizations,
+)
+from repro.core.sampling import ProbabilisticSampler
+from repro.core.stms import StmsPrefetcher
+from repro.core.stream_engine import StreamEngine
+
+__all__ = [
+    "BucketBuffer",
+    "HISTORY_ENTRIES_PER_BLOCK",
+    "INDEX_ENTRIES_PER_BUCKET",
+    "pack_history_block",
+    "pack_index_bucket",
+    "unpack_history_block",
+    "unpack_index_bucket",
+    "StmsConfig",
+    "HistoryBuffer",
+    "HistoryEntry",
+    "HistoryPointer",
+    "IndexTable",
+    "ChainedIndexTable",
+    "OpenAddressIndexTable",
+    "compare_organizations",
+    "ProbabilisticSampler",
+    "StmsPrefetcher",
+    "StreamEngine",
+]

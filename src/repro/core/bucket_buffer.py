@@ -1,0 +1,113 @@
+"""On-chip bucket buffer: 8 KB of index-table bucket storage.
+
+The paper places a small buffer between the stream engines and the
+main-memory index table "to facilitate index table updates and to delay
+writeback until memory bandwidth is available".  Behaviourally it is a
+tiny fully-associative write-back cache of 64-byte buckets:
+
+* a lookup that hits the buffer costs no memory access;
+* an update dirties the buffered bucket instead of writing through;
+* dirty buckets are written back lazily (on eviction or drain) as
+  low-priority traffic, after reshuffling entries into LRU order — which
+  the :class:`~repro.core.index_table.IndexTable` maintains implicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.memory.dram import DramChannel, Priority
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+@dataclass
+class BucketBufferStats:
+    """Hit/miss/write-back counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+
+class BucketBuffer:
+    """LRU cache of index-table buckets with lazy dirty write-back."""
+
+    def __init__(
+        self,
+        capacity: int,
+        dram: DramChannel,
+        traffic: TrafficMeter,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dram = dram
+        self.traffic = traffic
+        self.stats = BucketBufferStats()
+        # bucket id -> dirty flag, LRU order (oldest first).
+        self._resident: OrderedDict[int, bool] = OrderedDict()
+
+    def __contains__(self, bucket: int) -> bool:
+        return bucket in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def access(
+        self,
+        bucket: int,
+        now: float,
+        dirty: bool = False,
+        charge: TrafficCategory = TrafficCategory.LOOKUP_STREAMS,
+    ) -> float:
+        """Bring ``bucket`` on chip (if needed) and return its ready time.
+
+        ``charge`` names the traffic category of the bucket *read* when
+        one is required: lookups charge to stream-lookup traffic, updates
+        to index-update traffic, matching the paper's Figure 7 split.
+        Setting ``dirty`` marks the bucket for eventual write-back.
+        """
+        if bucket in self._resident:
+            self.stats.hits += 1
+            self._resident[bucket] = self._resident[bucket] or dirty
+            self._resident.move_to_end(bucket)
+            return now
+        self.stats.misses += 1
+        self.traffic.add_blocks(charge)
+        arrival = self.dram.request(now, Priority.LOW)
+        if len(self._resident) >= self.capacity:
+            self._evict_one(now)
+        self._resident[bucket] = dirty
+        return arrival
+
+    def mark_dirty(self, bucket: int) -> None:
+        """Dirty an already-resident bucket (after an in-place update)."""
+        if bucket not in self._resident:
+            raise KeyError(f"bucket {bucket} is not resident")
+        self._resident[bucket] = True
+        self._resident.move_to_end(bucket)
+
+    def _evict_one(self, now: float) -> None:
+        victim, dirty = self._resident.popitem(last=False)
+        if dirty:
+            self._write_back(now)
+
+    def _write_back(self, now: float) -> None:
+        """One low-priority bucket write (index maintenance traffic)."""
+        self.stats.writebacks += 1
+        self.traffic.add_blocks(TrafficCategory.UPDATE_INDEX)
+        self.dram.request(now, Priority.LOW)
+
+    def drain(self, now: float) -> int:
+        """Write back every dirty bucket (end of simulation).
+
+        Returns the number of write-backs performed.
+        """
+        drained = 0
+        for bucket, dirty in list(self._resident.items()):
+            if dirty:
+                self._write_back(now)
+                drained += 1
+            del self._resident[bucket]
+        return drained

@@ -1,0 +1,216 @@
+"""Per-core circular history buffer in simulated main memory.
+
+The history buffer logs the core's off-chip miss addresses (and prefetched
+hits) in program order.  Key properties from the paper:
+
+* **Packed writes.** Appends accumulate in a cache-block-sized on-chip
+  buffer and spill to memory as one 64-byte write per twelve entries, so
+  recording traffic is negligible (one write per ~12 misses).
+* **Circular reuse.** The buffer wraps; an index-table pointer is valid
+  only while its target has not been overwritten.
+* **End-of-stream marks.** The entry *after* the last contiguous
+  successfully prefetched address can be annotated so later followers
+  pause instead of streaming garbage past a stream boundary.
+
+Pointers are monotonically increasing sequence numbers; sequence ``s``
+lives in packed block ``s // 12`` of the buffer's memory region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.codec import HISTORY_ENTRIES_PER_BLOCK
+from repro.memory.address import Region
+from repro.memory.dram import DramChannel, Priority
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+@dataclass(frozen=True)
+class HistoryPointer:
+    """A location inside some core's history buffer."""
+
+    core: int
+    sequence: int
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ValueError("core must be non-negative")
+        if self.sequence < 0:
+            raise ValueError("sequence must be non-negative")
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One logged miss: where it sits, what it was, and its mark bit."""
+
+    sequence: int
+    block: int
+    marked: bool
+
+
+@dataclass
+class HistoryStats:
+    """Traffic-relevant history-buffer counters."""
+
+    appends: int = 0
+    packed_writes: int = 0
+    block_reads: int = 0
+    on_chip_reads: int = 0
+    annotations: int = 0
+    stale_reads: int = 0
+
+
+class HistoryBuffer:
+    """One core's circular miss log with write-combining and marks."""
+
+    def __init__(
+        self,
+        core: int,
+        capacity_entries: int,
+        region: Region,
+        dram: DramChannel,
+        traffic: TrafficMeter,
+    ) -> None:
+        if capacity_entries < HISTORY_ENTRIES_PER_BLOCK:
+            raise ValueError(
+                "capacity must be at least one packed block "
+                f"({HISTORY_ENTRIES_PER_BLOCK} entries)"
+            )
+        needed_blocks = -(-capacity_entries // HISTORY_ENTRIES_PER_BLOCK)
+        if region.blocks < needed_blocks:
+            raise ValueError(
+                f"region holds {region.blocks} blocks; "
+                f"{needed_blocks} needed for {capacity_entries} entries"
+            )
+        self.core = core
+        # Round capacity down to whole packed blocks.
+        self.capacity = (
+            capacity_entries // HISTORY_ENTRIES_PER_BLOCK
+        ) * HISTORY_ENTRIES_PER_BLOCK
+        self.region = region
+        self.dram = dram
+        self.traffic = traffic
+        self.stats = HistoryStats()
+        #: Total entries ever appended; next append gets this sequence.
+        self.head = 0
+        self._blocks = np.zeros(self.capacity, dtype=np.int64)
+        self._marks = np.zeros(self.capacity, dtype=bool)
+        #: Appends not yet spilled to memory (the on-chip pack buffer).
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Validity.
+    # ------------------------------------------------------------------
+
+    @property
+    def oldest_valid(self) -> int:
+        """Smallest sequence number not yet overwritten."""
+        return max(0, self.head - self.capacity)
+
+    def is_valid(self, sequence: int) -> bool:
+        """True while ``sequence`` is still resident in the buffer."""
+        return self.oldest_valid <= sequence < self.head
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def append(self, block: int, now: float) -> int:
+        """Log ``block``; returns its sequence number.
+
+        Every :data:`~repro.core.codec.HISTORY_ENTRIES_PER_BLOCK` appends,
+        the pack buffer spills as one low-priority packed write.
+        """
+        sequence = self.head
+        slot = sequence % self.capacity
+        self._blocks[slot] = block
+        self._marks[slot] = False
+        self.head += 1
+        self._pending += 1
+        self.stats.appends += 1
+        if self._pending >= HISTORY_ENTRIES_PER_BLOCK:
+            self._spill(now)
+        return sequence
+
+    def _spill(self, now: float) -> None:
+        self._pending = 0
+        self.stats.packed_writes += 1
+        self.traffic.add_blocks(TrafficCategory.RECORD_STREAMS)
+        self.dram.request(now, Priority.LOW)
+
+    def flush(self, now: float) -> None:
+        """Force any partially filled pack buffer out (simulation end)."""
+        if self._pending > 0:
+            self._spill(now)
+
+    def annotate(self, sequence: int, now: float) -> bool:
+        """Set the end-of-stream mark on ``sequence`` if still valid.
+
+        The mark is an in-place read-modify-write of one packed history
+        block; modeled as a single low-priority write.
+        """
+        if not self.is_valid(sequence):
+            return False
+        self._marks[sequence % self.capacity] = True
+        self.stats.annotations += 1
+        self.traffic.add_blocks(TrafficCategory.RECORD_STREAMS)
+        self.dram.request(now, Priority.LOW)
+        return True
+
+    # ------------------------------------------------------------------
+    # Stream reads.
+    # ------------------------------------------------------------------
+
+    def read_block(
+        self, sequence: int, now: float
+    ) -> tuple[list[HistoryEntry], float]:
+        """Fetch the packed block containing ``sequence``.
+
+        Returns the valid entries from ``sequence`` to the end of that
+        packed block (at most 12) and the time the data arrives.  Entries
+        newer than the last spill are still on chip, so reading a block
+        that overlaps the pack buffer costs nothing.
+        """
+        if not self.is_valid(sequence):
+            self.stats.stale_reads += 1
+            return [], now
+        block_start = (
+            sequence // HISTORY_ENTRIES_PER_BLOCK
+        ) * HISTORY_ENTRIES_PER_BLOCK
+        block_end = min(block_start + HISTORY_ENTRIES_PER_BLOCK, self.head)
+
+        first_unspilled = self.head - self._pending
+        if block_end > first_unspilled:
+            # Some requested entries are still in the on-chip pack buffer.
+            arrival = now
+            self.stats.on_chip_reads += 1
+        else:
+            self.stats.block_reads += 1
+            self.traffic.add_blocks(TrafficCategory.LOOKUP_STREAMS)
+            arrival = self.dram.request(now, Priority.LOW)
+
+        entries = []
+        for seq in range(max(sequence, self.oldest_valid), block_end):
+            slot = seq % self.capacity
+            entries.append(
+                HistoryEntry(
+                    sequence=seq,
+                    block=int(self._blocks[slot]),
+                    marked=bool(self._marks[slot]),
+                )
+            )
+        return entries, arrival
+
+    def peek(self, sequence: int) -> HistoryEntry | None:
+        """Inspect one entry without timing or traffic (tests/debug)."""
+        if not self.is_valid(sequence):
+            return None
+        slot = sequence % self.capacity
+        return HistoryEntry(
+            sequence=sequence,
+            block=int(self._blocks[slot]),
+            marked=bool(self._marks[slot]),
+        )

@@ -1,0 +1,148 @@
+"""Shared bucketized hash index table in simulated main memory.
+
+The index table maps a miss address to a pointer into some core's history
+buffer.  Its defining properties (paper Section 4.3):
+
+* Buckets are sized to the memory interface: one 64-byte block holds up
+  to 12 ``{address, pointer}`` entries, so a lookup retrieves and
+  linearly searches an entire bucket with **one** memory access.
+* Replacement is LRU *within* a bucket; entries are kept physically in
+  recency order (reshuffled before write-back), so no extra recency
+  state is stored.
+* The table is shared by all cores — a lookup by one core can locate a
+  temporal stream recorded by another — and supports independent
+  parallel access without synchronization.
+
+This class is the *state* of the table; DRAM timing and traffic for
+bucket reads/writes are charged by the caller (:class:`StmsPrefetcher`)
+through the on-chip bucket buffer, mirroring the hardware split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.history_buffer import HistoryPointer
+from repro.memory.address import Region
+from repro.memory.address import is_power_of_two
+
+
+#: Knuth multiplicative hashing constant (2^32 / golden ratio).
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass
+class IndexStats:
+    """Index-table behaviour counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    tag_aliases: int = 0
+    inserts: int = 0
+    replacements: int = 0
+    pointer_updates: int = 0
+
+
+class IndexTable:
+    """Bucketized hash table: address -> history pointer."""
+
+    def __init__(
+        self,
+        buckets: int,
+        bucket_entries: int = 12,
+        region: "Region | None" = None,
+        tag_bits: "int | None" = None,
+    ) -> None:
+        if not is_power_of_two(buckets):
+            raise ValueError(f"buckets must be a power of two, got {buckets}")
+        if bucket_entries <= 0:
+            raise ValueError("bucket_entries must be positive")
+        if tag_bits is not None and tag_bits <= 0:
+            raise ValueError("tag_bits must be positive when given")
+        self.buckets = buckets
+        self.bucket_entries = bucket_entries
+        self.region = region
+        self.tag_bits = tag_bits
+        self.stats = IndexStats()
+        self._bucket_mask = buckets - 1
+        # Each bucket: list of (tag, pointer), most recently used first.
+        self._table: list[list[tuple[int, HistoryPointer]]] = [
+            [] for _ in range(buckets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Hashing and tagging.
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, block: int) -> int:
+        """Hash ``block`` to its bucket index."""
+        return ((block * _HASH_MULTIPLIER) >> 11) & self._bucket_mask
+
+    def tag_of(self, block: int) -> int:
+        """The tag stored for ``block`` (possibly truncated)."""
+        if self.tag_bits is None:
+            return block
+        return block & ((1 << self.tag_bits) - 1)
+
+    def memory_block(self, bucket: int) -> "int | None":
+        """Physical block number of ``bucket`` in the meta-data region."""
+        if self.region is None:
+            return None
+        return self.region.block_at(bucket % self.region.blocks)
+
+    # ------------------------------------------------------------------
+    # Bucket operations (state only; caller charges traffic).
+    # ------------------------------------------------------------------
+
+    def lookup(self, block: int) -> "HistoryPointer | None":
+        """Search the bucket for ``block``; LRU-touch on hit.
+
+        With truncated tags an aliasing entry may match a different
+        address — the pointer returned then leads to an unrelated stream
+        whose prefetches will be wasted, exactly as in real hardware.
+        """
+        self.stats.lookups += 1
+        bucket = self._table[self.bucket_of(block)]
+        tag = self.tag_of(block)
+        for position, (entry_tag, pointer) in enumerate(bucket):
+            if entry_tag == tag:
+                if position != 0:
+                    bucket.insert(0, bucket.pop(position))
+                self.stats.hits += 1
+                return pointer
+        return None
+
+    def update(self, block: int, pointer: HistoryPointer) -> bool:
+        """Point ``block`` at a new history location.
+
+        Returns True when an existing (LRU) entry had to be replaced —
+        i.e. the bucket was full and an older correlation aged out.
+        """
+        bucket = self._table[self.bucket_of(block)]
+        tag = self.tag_of(block)
+        for position, (entry_tag, _) in enumerate(bucket):
+            if entry_tag == tag:
+                bucket.pop(position)
+                bucket.insert(0, (tag, pointer))
+                self.stats.pointer_updates += 1
+                return False
+        replaced = False
+        if len(bucket) >= self.bucket_entries:
+            bucket.pop()
+            replaced = True
+            self.stats.replacements += 1
+        bucket.insert(0, (tag, pointer))
+        self.stats.inserts += 1
+        return replaced
+
+    def bucket_contents(
+        self, bucket: int
+    ) -> list[tuple[int, HistoryPointer]]:
+        """Entries of ``bucket`` in recency order (tests/serialization)."""
+        if not 0 <= bucket < self.buckets:
+            raise IndexError(f"bucket {bucket} out of range")
+        return list(self._table[bucket])
+
+    def occupancy(self) -> int:
+        """Total live entries across all buckets."""
+        return sum(len(bucket) for bucket in self._table)

@@ -1,0 +1,68 @@
+"""Experiment drivers: one module per figure/table of the paper.
+
+Each driver regenerates its figure at a chosen scale preset and attaches
+shape checks for the paper's qualitative claims:
+
+========  ==============================================  =================
+id        what it reproduces                              entry point
+========  ==============================================  =================
+fig1L     coverage vs. correlation-table entries          fig1_entries.run
+fig1R     prior designs' traffic overheads                fig1_prior_traffic.run
+fig4      idealized TMS coverage and speedup              fig4_potential.run
+fig5L     coverage vs. history-buffer size                fig5_storage.run_history
+fig5R     coverage vs. index-table size                   fig5_storage.run_index
+fig6L     streamed-block CDF by stream length             fig6_amortize.run_cdf
+fig6R     coverage loss vs. fixed prefetch depth          fig6_amortize.run_depth
+fig7      traffic breakdown at 100% vs 12.5% sampling     fig7_traffic.run
+fig8      sampling-probability sweep                      fig8_sampling.run
+fig9      STMS vs. idealized TMS                          fig9_performance.run
+table2    MLP of off-chip reads                           table2_mlp.run
+========  ==============================================  =================
+"""
+
+from repro.experiments import (
+    fig1_entries,
+    fig1_prior_traffic,
+    fig4_potential,
+    fig5_storage,
+    fig6_amortize,
+    fig7_traffic,
+    fig8_sampling,
+    fig9_performance,
+    table2_mlp,
+)
+from repro.experiments.common import ExperimentResult, ShapeCheck
+
+#: Registry mapping experiment ids to their entry points.
+EXPERIMENTS = {
+    "fig1-left": fig1_entries.run,
+    "fig1-right": fig1_prior_traffic.run,
+    "fig4": fig4_potential.run,
+    "fig5-left": fig5_storage.run_history,
+    "fig5-right": fig5_storage.run_index,
+    "fig6-left": fig6_amortize.run_cdf,
+    "fig6-right": fig6_amortize.run_depth,
+    "fig7": fig7_traffic.run,
+    "fig8": fig8_sampling.run,
+    "fig9": fig9_performance.run,
+    "table2": table2_mlp.run,
+}
+
+
+def run_experiment(name: str, **options: object) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    try:
+        entry = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return entry(**options)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ShapeCheck",
+    "run_experiment",
+]

@@ -1,0 +1,77 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment module exposes ``run(scale=..., cores=..., seed=...)``
+returning an :class:`ExperimentResult`: the regenerated figure as ASCII,
+the raw series, and a list of *shape checks* — assertions about the
+qualitative result the paper reports (who wins, what saturates, what
+decays).  Absolute numbers are not expected to match the paper (our
+substrate is a scaled simulator, not the authors' testbed); the shape
+checks encode what must hold for the reproduction to be faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, verified against our data."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produces."""
+
+    experiment: str
+    title: str
+    rendered: str
+    data: dict = field(default_factory=dict)
+    checks: "list[ShapeCheck]" = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} ==", self.rendered]
+        if self.checks:
+            parts.append("")
+            parts.extend(check.render() for check in self.checks)
+        return "\n".join(parts)
+
+
+def check_monotone(
+    values: Sequence[float],
+    increasing: bool = True,
+    tolerance: float = 0.02,
+) -> bool:
+    """True when the series is monotone up to an absolute tolerance."""
+    for earlier, later in zip(values, values[1:]):
+        if increasing and later < earlier - tolerance:
+            return False
+        if not increasing and later > earlier + tolerance:
+            return False
+    return True
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 if any is non-positive)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            return 0.0
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,172 @@
+"""Main-memory channel model: latency, bandwidth, and priorities.
+
+The paper's memory system is 45 ns access latency with 28.4 GB/s of peak
+bandwidth moving 64-byte transfers, and all prefetcher meta-data traffic is
+issued at *low priority* so processor demands are never delayed behind it
+(§4.3: "assigning a low priority to predictor memory traffic is essential").
+
+The model is a single-server queue with two priority classes:
+
+* **High** (demand fetches, write-backs) — queues only behind other
+  high-priority work, approximating preemption of meta-data transfers.
+* **Low** (index lookups/updates, history reads/writes, prefetch fills) —
+  queues behind *all* outstanding work.
+
+Each transfer occupies the channel for ``block_bytes / bandwidth`` and the
+requester sees ``queue delay + access latency + transfer time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.memory.address import BLOCK_BYTES
+
+
+class Priority(IntEnum):
+    """Memory-request priority class (higher value = more urgent)."""
+
+    LOW = 0
+    HIGH = 1
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Channel parameters (defaults follow the paper's Table 1 at 4 GHz)."""
+
+    #: Core clock frequency used to convert ns to cycles.
+    clock_ghz: float = 4.0
+    #: Device access latency in nanoseconds.
+    access_latency_ns: float = 45.0
+    #: Peak sustainable bandwidth in GB/s.
+    peak_bandwidth_gbps: float = 28.4
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.access_latency_ns < 0:
+            raise ValueError("access_latency_ns must be non-negative")
+        if self.peak_bandwidth_gbps <= 0:
+            raise ValueError("peak_bandwidth_gbps must be positive")
+
+    @property
+    def access_latency_cycles(self) -> float:
+        """Device latency in core cycles (45 ns @ 4 GHz = 180 cycles)."""
+        return self.access_latency_ns * self.clock_ghz
+
+    @property
+    def transfer_cycles(self) -> float:
+        """Channel occupancy of one 64-byte transfer in core cycles."""
+        ns_per_block = BLOCK_BYTES / self.peak_bandwidth_gbps
+        return ns_per_block * self.clock_ghz
+
+
+@dataclass
+class DramStats:
+    """Aggregate channel behaviour."""
+
+    requests: int = 0
+    high_priority_requests: int = 0
+    low_priority_requests: int = 0
+    busy_cycles: float = 0.0
+    queue_cycles: float = 0.0
+
+
+class DramChannel:
+    """Single memory channel shared by all cores and the prefetcher."""
+
+    def __init__(self, config: DramConfig | None = None) -> None:
+        self.config = config if config is not None else DramConfig()
+        self.stats = DramStats()
+        # Committed channel time for high-priority work only, and for all
+        # work.  High priority queues behind the former, low behind the
+        # latter; both extend both, so low-priority backlog never delays a
+        # later demand request but demand backlog delays everything.
+        self._busy_until_high = 0.0
+        self._busy_until_all = 0.0
+
+    def request(
+        self,
+        now: float,
+        priority: Priority = Priority.HIGH,
+        blocks: int = 1,
+    ) -> float:
+        """Issue a ``blocks``-transfer request at time ``now``.
+
+        Returns the absolute completion time (when the last byte arrives).
+        """
+        if blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {blocks}")
+        service = self.config.transfer_cycles * blocks
+
+        if priority is Priority.HIGH:
+            start = max(now, self._busy_until_high)
+            self._busy_until_high = start + service
+            self._busy_until_all = max(
+                self._busy_until_all, self._busy_until_high
+            )
+            self.stats.high_priority_requests += 1
+        else:
+            start = max(now, self._busy_until_all)
+            self._busy_until_all = start + service
+            self.stats.low_priority_requests += 1
+
+        self.stats.requests += 1
+        self.stats.busy_cycles += service
+        self.stats.queue_cycles += start - now
+
+        return start + self.config.access_latency_cycles + service
+
+    def latency(
+        self,
+        now: float,
+        priority: Priority = Priority.HIGH,
+        blocks: int = 1,
+    ) -> float:
+        """Convenience: round-trip latency seen by the requester."""
+        return self.request(now, priority, blocks) - now
+
+    def peek_completion(
+        self,
+        now: float,
+        priority: Priority = Priority.HIGH,
+        blocks: int = 1,
+    ) -> float:
+        """Completion time a request would see, without issuing it.
+
+        Used to model a demand access *upgrading* an in-flight low-
+        priority prefetch for the same block: the data transfer was
+        already charged when the prefetch issued, but the requester
+        should not wait longer than a fresh demand fetch would take.
+        """
+        service = self.config.transfer_cycles * blocks
+        start = max(
+            now,
+            self._busy_until_high
+            if priority is Priority.HIGH
+            else self._busy_until_all,
+        )
+        return start + self.config.access_latency_cycles + service
+
+    def low_backlog(self, now: float) -> float:
+        """Cycles of committed work ahead of ``now`` for a LOW request.
+
+        Prefetchers consult this to drop prefetches when the channel is
+        saturated — the bounded-queue backpressure real memory systems
+        have, and the reason the paper can issue meta-data traffic at low
+        priority without strangling demand fetches.
+        """
+        return max(0.0, self._busy_until_all - now)
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of ``elapsed_cycles`` the channel spent transferring."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        """Clear queues and statistics (between measurement phases)."""
+        self.stats = DramStats()
+        self._busy_until_high = 0.0
+        self._busy_until_all = 0.0

@@ -1,0 +1,222 @@
+"""Four-core CMP memory hierarchy (paper Table 1).
+
+Private per-core L1 data caches (with small victim buffers) in front of a
+shared, inclusive L2.  The hierarchy is *functional*: it answers where an
+access was satisfied and what it displaced; the simulation engine supplies
+timing and decides how misses are filled (demand fetch, stride prefetcher,
+or temporal-streaming prefetch buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.memory.address import BLOCK_BYTES
+from repro.memory.cache import (
+    AccessResult,
+    Cache,
+    CacheConfig,
+    Eviction,
+    VictimBuffer,
+)
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+class ServicePoint(Enum):
+    """Where in the hierarchy a demand access was satisfied."""
+
+    L1 = "l1"
+    VICTIM = "victim"
+    L2 = "l2"
+    #: Not satisfied on chip: the engine must consult prefetchers / DRAM.
+    OFF_CHIP = "off_chip"
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """Geometry of the chip multiprocessor (defaults = paper Table 1)."""
+
+    cores: int = 4
+    l1_size_bytes: int = 64 * 1024
+    l1_ways: int = 2
+    l1_victim_blocks: int = 8
+    l2_size_bytes: int = 8 * 1024 * 1024
+    l2_ways: int = 16
+    l2_banks: int = 16
+    l2_mshrs: int = 64
+    l1_latency: float = 2.0
+    l2_latency: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.l2_banks <= 0:
+            raise ValueError("l2_banks must be positive")
+
+    def l1_config(self, core: int) -> CacheConfig:
+        return CacheConfig(
+            size_bytes=self.l1_size_bytes,
+            ways=self.l1_ways,
+            name=f"l1-core{core}",
+        )
+
+    def l2_config(self) -> CacheConfig:
+        return CacheConfig(
+            size_bytes=self.l2_size_bytes, ways=self.l2_ways, name="l2"
+        )
+
+    def scaled(self, factor: float) -> "CmpConfig":
+        """Return a copy with cache capacities scaled by ``factor``.
+
+        Scaling keeps associativity and shrinks/grows the set count to the
+        nearest power of two, so miniature workloads exercise the same
+        relative capacity pressure as the paper's full-size configuration.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+
+        def scale_size(size: int, ways: int) -> int:
+            target_sets = max(1, round(size * factor / (ways * BLOCK_BYTES)))
+            # Snap to the nearest power of two.
+            sets = 1 << max(0, (target_sets - 1).bit_length())
+            if sets > 1 and sets - target_sets > target_sets - sets // 2:
+                sets //= 2
+            return sets * ways * BLOCK_BYTES
+
+        return CmpConfig(
+            cores=self.cores,
+            l1_size_bytes=scale_size(self.l1_size_bytes, self.l1_ways),
+            l1_ways=self.l1_ways,
+            l1_victim_blocks=self.l1_victim_blocks,
+            l2_size_bytes=scale_size(self.l2_size_bytes, self.l2_ways),
+            l2_ways=self.l2_ways,
+            l2_banks=self.l2_banks,
+            l2_mshrs=self.l2_mshrs,
+            l1_latency=self.l1_latency,
+            l2_latency=self.l2_latency,
+        )
+
+
+@dataclass
+class HierarchyEvent:
+    """Result of one demand access through the on-chip hierarchy."""
+
+    core: int
+    block: int
+    service: ServicePoint
+    #: Dirty L2 victims that must be written back off chip.
+    writebacks: list[Eviction] = field(default_factory=list)
+
+
+class CmpHierarchy:
+    """Functional model of the private-L1 / shared-L2 hierarchy."""
+
+    def __init__(
+        self,
+        config: CmpConfig | None = None,
+        traffic: TrafficMeter | None = None,
+    ) -> None:
+        self.config = config if config is not None else CmpConfig()
+        self.traffic = traffic if traffic is not None else TrafficMeter()
+        self.l1s = [
+            Cache(self.config.l1_config(core))
+            for core in range(self.config.cores)
+        ]
+        self.victims = [
+            VictimBuffer(capacity=self.config.l1_victim_blocks)
+            for _ in range(self.config.cores)
+        ]
+        self.l2 = Cache(self.config.l2_config())
+        self.off_chip_reads = 0
+        self.demand_accesses = 0
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.config.cores:
+            raise IndexError(
+                f"core {core} out of range [0, {self.config.cores})"
+            )
+
+    def access(self, core: int, block: int, write: bool = False) -> HierarchyEvent:
+        """Run one demand access as far as the on-chip hierarchy allows.
+
+        Returns an event whose ``service`` is :data:`ServicePoint.OFF_CHIP`
+        when neither L1, the victim buffer, nor L2 holds the block; the
+        caller then resolves the miss (prefetch buffer or DRAM) and calls
+        :meth:`fill_off_chip` to install the block.
+        """
+        self._check_core(core)
+        self.demand_accesses += 1
+        l1 = self.l1s[core]
+
+        if l1.access(block, write=write) is AccessResult.HIT:
+            return HierarchyEvent(core, block, ServicePoint.L1)
+
+        if self.victims[core].extract(block):
+            writebacks = self._fill_l1(core, block, dirty=write)
+            return HierarchyEvent(
+                core, block, ServicePoint.VICTIM, writebacks
+            )
+
+        if self.l2.access(block) is AccessResult.HIT:
+            writebacks = self._fill_l1(core, block, dirty=write)
+            return HierarchyEvent(core, block, ServicePoint.L2, writebacks)
+
+        self.off_chip_reads += 1
+        return HierarchyEvent(core, block, ServicePoint.OFF_CHIP)
+
+    def fill_off_chip(
+        self, core: int, block: int, dirty: bool = False
+    ) -> list[Eviction]:
+        """Install a block arriving from off chip into L2 and the L1."""
+        self._check_core(core)
+        writebacks: list[Eviction] = []
+        l2_victim = self.l2.fill(block)
+        if l2_victim is not None:
+            self._handle_l2_eviction(l2_victim, writebacks)
+        writebacks.extend(self._fill_l1(core, block, dirty=dirty))
+        return writebacks
+
+    def _fill_l1(self, core: int, block: int, dirty: bool) -> list[Eviction]:
+        """Fill the core's L1, spilling its victim into the victim buffer."""
+        writebacks: list[Eviction] = []
+        l1_victim = self.l1s[core].fill(block, dirty=dirty)
+        if l1_victim is not None:
+            displaced = self.victims[core].insert(
+                l1_victim.block, l1_victim.dirty
+            )
+            if displaced is not None and displaced.dirty:
+                # Dirty victim falls back to L2 (on-chip; no pin traffic).
+                l2_victim = self.l2.fill(displaced.block, dirty=True)
+                if l2_victim is not None:
+                    self._handle_l2_eviction(l2_victim, writebacks)
+        return writebacks
+
+    def _handle_l2_eviction(
+        self, eviction: Eviction, writebacks: list[Eviction]
+    ) -> None:
+        """Invalidate inclusive L1 copies and charge write-back traffic.
+
+        An inclusive eviction must not lose data: if any L1 holds the
+        block dirty, that state merges into the outgoing line.
+        """
+        dirty = eviction.dirty
+        for core in range(self.config.cores):
+            if self.l1s[core].peek_dirty(eviction.block):
+                dirty = True
+            self.l1s[core].invalidate(eviction.block)
+        if dirty:
+            self.traffic.add_blocks(TrafficCategory.WRITEBACK)
+            writebacks.append(Eviction(block=eviction.block, dirty=True))
+
+    def l2_bank(self, block: int) -> int:
+        """Bank index of ``block`` (interleaved at block granularity)."""
+        return block % self.config.l2_banks
+
+    def reset_stats(self) -> None:
+        """Zero counters after warm-up while preserving cache contents."""
+        for l1 in self.l1s:
+            l1.reset_stats()
+        self.l2.reset_stats()
+        self.off_chip_reads = 0
+        self.demand_accesses = 0

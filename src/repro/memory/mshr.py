@@ -1,0 +1,109 @@
+"""Miss-status holding registers (MSHRs).
+
+An MSHR file bounds the number of distinct outstanding misses a cache level
+may have in flight (the paper's L2 allows 64).  Secondary misses to a block
+that already has an MSHR merge into it instead of allocating a new one —
+this merging is what lets the timing model distinguish a *new* off-chip
+access from piggybacking on one already in progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding miss: the block, when it resolves, and who waits."""
+
+    block: int
+    complete_at: float
+    is_prefetch: bool = False
+    waiters: int = 1
+
+
+@dataclass
+class MshrStats:
+    """Counters for MSHR behaviour."""
+
+    allocations: int = 0
+    merges: int = 0
+    stalls: int = 0
+    peak_occupancy: int = 0
+
+
+class MshrFile:
+    """Bounded set of outstanding misses with secondary-miss merging."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"MSHR capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = MshrStats()
+        self._entries: dict[int, MshrEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further primary miss can be accepted."""
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, block: int) -> MshrEntry | None:
+        """Return the in-flight entry for ``block`` if one exists."""
+        return self._entries.get(block)
+
+    def allocate(
+        self, block: int, complete_at: float, is_prefetch: bool = False
+    ) -> MshrEntry:
+        """Allocate an entry for a primary miss.
+
+        Raises ``RuntimeError`` when full; callers must check :attr:`full`
+        (and model the stall) first.
+        """
+        if block in self._entries:
+            raise ValueError(f"block {block} already has an MSHR")
+        if self.full:
+            self.stats.stalls += 1
+            raise RuntimeError("MSHR file full")
+        entry = MshrEntry(
+            block=block, complete_at=complete_at, is_prefetch=is_prefetch
+        )
+        self._entries[block] = entry
+        self.stats.allocations += 1
+        self.stats.peak_occupancy = max(
+            self.stats.peak_occupancy, len(self._entries)
+        )
+        return entry
+
+    def merge(self, block: int) -> MshrEntry:
+        """Attach a secondary miss to an existing entry."""
+        entry = self._entries.get(block)
+        if entry is None:
+            raise KeyError(f"no outstanding MSHR for block {block}")
+        entry.waiters += 1
+        # A demand merge onto a prefetch converts it to demand urgency.
+        self.stats.merges += 1
+        return entry
+
+    def retire_complete(self, now: float) -> list[MshrEntry]:
+        """Remove and return every entry whose fill has arrived by ``now``."""
+        done = [e for e in self._entries.values() if e.complete_at <= now]
+        for entry in done:
+            del self._entries[entry.block]
+        return done
+
+    def release(self, block: int) -> None:
+        """Explicitly free the entry for ``block``."""
+        self._entries.pop(block, None)
+
+    def earliest_completion(self) -> float | None:
+        """Completion time of the soonest-finishing entry, if any."""
+        if not self._entries:
+            return None
+        return min(e.complete_at for e in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop all outstanding entries (used between simulation phases)."""
+        self._entries.clear()

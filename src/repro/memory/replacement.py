@@ -1,0 +1,131 @@
+"""Replacement policies for set-associative structures.
+
+A policy instance manages *one* cache set (or hash bucket).  Policies track
+way indices, not tags, so they compose with any lookup structure.
+
+These classes are the *executable specification* of the replacement
+behaviour: :class:`repro.memory.cache.Cache` implements the same
+policies inline (an OrderedDict per set) for speed, and the property
+tests cross-check the fast implementation against these reference
+models.  They are also usable directly for experimenting with new
+structures (e.g. alternative index-bucket aging)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ReplacementPolicy(ABC):
+    """Interface for a per-set replacement policy over ``ways`` slots."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abstractmethod
+    def fill(self, way: int) -> None:
+        """Record that ``way`` was (re)filled with a new line."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Return the way index to evict next."""
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise IndexError(f"way {way} out of range [0, {self.ways})")
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used ordering.
+
+    Maintains an explicit recency list (most recent first).  The same
+    structure orders entries inside an STMS index-table bucket, where the
+    paper "reshuffles" elements to maintain LRU order before write-back.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Most-recently-used first.  Initially way 0 is MRU; the victim is
+        # the tail, so untouched ways fill from the highest index down.
+        self._order: list[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def fill(self, way: int) -> None:
+        self.touch(way)
+
+    def victim(self) -> int:
+        return self._order[-1]
+
+    def recency_order(self) -> tuple[int, ...]:
+        """Ways from most to least recently used (for bucket reshuffling)."""
+        return tuple(self._order)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection from a seeded generator."""
+
+    def __init__(self, ways: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__(ways)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def fill(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self) -> int:
+        return int(self._rng.integers(0, self.ways))
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the oldest fill regardless of hits."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._queue: list[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def fill(self, way: int) -> None:
+        self._check_way(way)
+        self._queue.remove(way)
+        self._queue.insert(0, way)
+
+    def victim(self) -> int:
+        return self._queue[-1]
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "random": RandomPolicy,
+    "fifo": FifoPolicy,
+}
+
+
+def make_policy(
+    name: str, ways: int, rng: np.random.Generator | None = None
+) -> ReplacementPolicy:
+    """Construct a replacement policy by name (``lru``/``random``/``fifo``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(ways, rng=rng)
+    return cls(ways)

@@ -1,0 +1,174 @@
+"""Off-chip traffic accounting by category.
+
+The paper's bandwidth results (Figs. 1 right, 7, 8 left) break overhead
+traffic into *record streams*, *update index*, *lookup streams* and
+*incorrect prefetches*, normalized against the baseline's useful data
+traffic.  :class:`TrafficMeter` tallies bytes per category and produces
+exactly those normalizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.memory.address import BLOCK_BYTES
+
+
+class TrafficCategory(Enum):
+    """Every kind of byte that crosses the processor pins."""
+
+    #: Demand fetches that miss all caches (the baseline's useful reads).
+    DEMAND_READ = "demand_read"
+    #: Dirty-block write-backs to main memory.
+    WRITEBACK = "writeback"
+    #: Unused fills issued by the base system's stride prefetcher.  Present
+    #: in both baseline and STMS configurations, so excluded from the
+    #: temporal prefetcher's overhead accounting.
+    STRIDE_PREFETCH = "stride_prefetch"
+    #: Prefetched blocks that were later used by the core.
+    USEFUL_PREFETCH = "useful_prefetch"
+    #: Prefetched blocks never used before being dropped.
+    ERRONEOUS_PREFETCH = "erroneous_prefetch"
+    #: History-buffer appends (packed, one write per ~12 misses).
+    RECORD_STREAMS = "record_streams"
+    #: Index-table maintenance (bucket read + write per applied update).
+    UPDATE_INDEX = "update_index"
+    #: Index-table bucket reads + history-buffer block reads on lookups.
+    LOOKUP_STREAMS = "lookup_streams"
+
+    @property
+    def is_overhead(self) -> bool:
+        """Overhead = everything beyond demand reads and write-backs."""
+        return self not in (
+            TrafficCategory.DEMAND_READ,
+            TrafficCategory.WRITEBACK,
+            TrafficCategory.STRIDE_PREFETCH,
+        )
+
+    @property
+    def is_metadata(self) -> bool:
+        """Meta-data traffic is eligible for low-priority scheduling."""
+        return self in (
+            TrafficCategory.RECORD_STREAMS,
+            TrafficCategory.UPDATE_INDEX,
+            TrafficCategory.LOOKUP_STREAMS,
+        )
+
+
+#: Display order used by reports, matching the paper's Figure 7 legend.
+OVERHEAD_ORDER = (
+    TrafficCategory.RECORD_STREAMS,
+    TrafficCategory.UPDATE_INDEX,
+    TrafficCategory.LOOKUP_STREAMS,
+    TrafficCategory.ERRONEOUS_PREFETCH,
+)
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Immutable snapshot of normalized overhead traffic.
+
+    Values are overhead bytes per useful data byte, the y-axis of the
+    paper's Figure 7.
+    """
+
+    record_streams: float
+    update_index: float
+    lookup_streams: float
+    erroneous_prefetch: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.record_streams
+            + self.update_index
+            + self.lookup_streams
+            + self.erroneous_prefetch
+        )
+
+
+class TrafficMeter:
+    """Tallies off-chip bytes by :class:`TrafficCategory`."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[TrafficCategory, int] = {
+            category: 0 for category in TrafficCategory
+        }
+
+    def add_blocks(self, category: TrafficCategory, blocks: int = 1) -> None:
+        """Charge ``blocks`` whole 64-byte transfers to ``category``."""
+        if blocks < 0:
+            raise ValueError(f"blocks must be non-negative, got {blocks}")
+        self._bytes[category] += blocks * BLOCK_BYTES
+
+    def add_bytes(self, category: TrafficCategory, count: int) -> None:
+        """Charge raw bytes (for sub-block transfers) to ``category``."""
+        if count < 0:
+            raise ValueError(f"byte count must be non-negative, got {count}")
+        self._bytes[category] += count
+
+    def bytes_for(self, category: TrafficCategory) -> int:
+        return self._bytes[category]
+
+    @property
+    def useful_bytes(self) -> int:
+        """Baseline-equivalent useful data: demand reads, write-backs, and
+        prefetches the core actually consumed (those replaced demand reads).
+        """
+        return (
+            self._bytes[TrafficCategory.DEMAND_READ]
+            + self._bytes[TrafficCategory.WRITEBACK]
+            + self._bytes[TrafficCategory.USEFUL_PREFETCH]
+        )
+
+    @property
+    def overhead_bytes(self) -> int:
+        return sum(
+            count
+            for category, count in self._bytes.items()
+            if category.is_overhead
+            and category is not TrafficCategory.USEFUL_PREFETCH
+        )
+
+    @property
+    def metadata_bytes(self) -> int:
+        return sum(
+            count
+            for category, count in self._bytes.items()
+            if category.is_metadata
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def breakdown(self) -> TrafficBreakdown:
+        """Overhead bytes per useful byte, per category (Fig. 7 format)."""
+        useful = self.useful_bytes
+        if useful == 0:
+            return TrafficBreakdown(0.0, 0.0, 0.0, 0.0)
+        return TrafficBreakdown(
+            record_streams=self._bytes[TrafficCategory.RECORD_STREAMS] / useful,
+            update_index=self._bytes[TrafficCategory.UPDATE_INDEX] / useful,
+            lookup_streams=self._bytes[TrafficCategory.LOOKUP_STREAMS] / useful,
+            erroneous_prefetch=(
+                self._bytes[TrafficCategory.ERRONEOUS_PREFETCH] / useful
+            ),
+        )
+
+    def overhead_per_useful_byte(self) -> float:
+        """Scalar overhead ratio (Fig. 8 left y-axis)."""
+        useful = self.useful_bytes
+        if useful == 0:
+            return 0.0
+        return self.overhead_bytes / useful
+
+    def merge(self, other: TrafficMeter) -> None:
+        """Accumulate another meter's counts into this one."""
+        for category, count in other._bytes.items():
+            self._bytes[category] += count
+
+    def reset(self) -> None:
+        for category in self._bytes:
+            self._bytes[category] = 0

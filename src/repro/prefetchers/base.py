@@ -1,0 +1,256 @@
+"""Common prefetcher machinery: the temporal-prefetcher interface and the
+small on-chip prefetch buffer every design streams into.
+
+The simulation engine talks to a temporal prefetcher through two calls:
+
+* :meth:`TemporalPrefetcher.consume` — a demand read reached the
+  prefetcher; if the block was prefetched (arrived or in flight) the
+  prefetcher hands back its arrival time and keeps streaming.
+* :meth:`TemporalPrefetcher.on_demand_miss` — the block was not
+  prefetched; the prefetcher records the miss and may trigger a lookup.
+
+Prefetchers issue their own DRAM traffic (prefetch fills and, for STMS,
+meta-data accesses) through the shared channel at low priority and account
+for every byte in the shared :class:`~repro.memory.traffic.TrafficMeter`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.memory.dram import DramChannel, Priority
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+#: Engine-supplied predicate: True when a block is already on chip, in
+#: which case issuing a prefetch for it would be pure waste.  Real designs
+#: implement this as a cache probe on the prefetch path.
+ResidencyFilter = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class PrefetchedBlock:
+    """A prefetch-buffer hit returned to the engine for timing."""
+
+    block: int
+    issued_at: float
+    arrival: float
+    #: Which stream generation issued this prefetch.  Used to bound the
+    #: number of in-flight prefetches *per active stream*: entries left
+    #: over from abandoned streams must not throttle the current one.
+    stream: int = -1
+
+    def is_arrived(self, now: float) -> bool:
+        """True when the data is already in the buffer (fully covered)."""
+        return self.arrival <= now
+
+
+@dataclass
+class PrefetcherStats:
+    """Counters every temporal prefetcher maintains."""
+
+    #: Prefetches issued to memory.
+    issued: int = 0
+    #: Prefetched blocks consumed by a demand access.
+    useful: int = 0
+    #: Prefetched blocks dropped without ever being consumed.
+    erroneous: int = 0
+    #: Prefetch candidates suppressed because the block was on chip.
+    filtered: int = 0
+    #: Prefetch candidates dropped because the channel was saturated.
+    dropped: int = 0
+    #: Index/meta-data lookups performed.
+    lookups: int = 0
+    #: Lookups that found a stream to follow.
+    lookup_hits: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that were consumed."""
+        resolved = self.useful + self.erroneous
+        if resolved == 0:
+            return 0.0
+        return self.useful / resolved
+
+
+class PrefetchBuffer:
+    """Small fully-associative per-core buffer of prefetched blocks.
+
+    Mirrors the paper's 2 KB per-core prefetch buffer (32 blocks at 64 B):
+    prefetched data is held *outside* the caches so erroneous prefetches
+    never pollute them.  Replacement is FIFO over unconsumed entries; a
+    displaced entry counts as an erroneous prefetch.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, PrefetchedBlock] = OrderedDict()
+        self._stream_counts: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def outstanding(self, stream: int) -> int:
+        """Resident entries issued by stream generation ``stream``."""
+        return self._stream_counts.get(stream, 0)
+
+    def _forget(self, entry: PrefetchedBlock) -> None:
+        count = self._stream_counts.get(entry.stream, 0) - 1
+        if count <= 0:
+            self._stream_counts.pop(entry.stream, None)
+        else:
+            self._stream_counts[entry.stream] = count
+
+    def insert(self, entry: PrefetchedBlock) -> PrefetchedBlock | None:
+        """Add a prefetched (possibly still in-flight) block.
+
+        Returns the FIFO-displaced entry when the buffer was full, which
+        the caller must account as an erroneous prefetch.  Re-inserting a
+        resident block is a no-op (the earlier copy wins).
+        """
+        if entry.block in self._entries:
+            return None
+        displaced: PrefetchedBlock | None = None
+        if len(self._entries) >= self.capacity:
+            _, displaced = self._entries.popitem(last=False)
+            self._forget(displaced)
+        self._entries[entry.block] = entry
+        self._stream_counts[entry.stream] = (
+            self._stream_counts.get(entry.stream, 0) + 1
+        )
+        return displaced
+
+    def take(self, block: int) -> PrefetchedBlock | None:
+        """Remove and return the entry for ``block`` if buffered."""
+        entry = self._entries.pop(block, None)
+        if entry is not None:
+            self._forget(entry)
+        return entry
+
+    def drain(self) -> list[PrefetchedBlock]:
+        """Remove and return everything (end-of-simulation accounting)."""
+        leftovers = list(self._entries.values())
+        self._entries.clear()
+        self._stream_counts.clear()
+        return leftovers
+
+
+class TemporalPrefetcher(ABC):
+    """Base class for the temporal prefetchers under evaluation.
+
+    Subclasses share the prefetch-issue path (:meth:`_issue_prefetch`),
+    which applies the residency filter, models the DRAM fill, charges
+    traffic at resolution time, and manages per-core prefetch buffers.
+    """
+
+    #: Prefetches are dropped once the channel's low-priority backlog
+    #: exceeds this many device-access latencies (bounded-queue model).
+    BACKLOG_LIMIT_ACCESSES = 8.0
+
+    def __init__(
+        self,
+        cores: int,
+        dram: DramChannel,
+        traffic: TrafficMeter,
+        residency_filter: ResidencyFilter | None = None,
+        buffer_blocks: int = 32,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.cores = cores
+        self.dram = dram
+        self.traffic = traffic
+        self.stats = PrefetcherStats()
+        self._filter = residency_filter
+        self.buffers = [PrefetchBuffer(buffer_blocks) for _ in range(cores)]
+        self._backlog_limit = (
+            self.BACKLOG_LIMIT_ACCESSES
+            * dram.config.access_latency_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Engine-facing interface.
+    # ------------------------------------------------------------------
+
+    def consume(
+        self, core: int, block: int, now: float
+    ) -> PrefetchedBlock | None:
+        """A demand read for ``block`` reached the prefetcher.
+
+        Returns buffered-prefetch information when the access is covered;
+        subclasses then observe the hit via :meth:`_on_prefetch_hit` to
+        keep their stream state advancing.
+        """
+        entry = self.buffers[core].take(block)
+        if entry is None:
+            return None
+        self.stats.useful += 1
+        self.traffic.add_blocks(TrafficCategory.USEFUL_PREFETCH)
+        self._on_prefetch_hit(core, block, now)
+        return entry
+
+    @abstractmethod
+    def on_demand_miss(self, core: int, block: int, now: float) -> None:
+        """An uncovered off-chip read miss occurred (trigger event)."""
+
+    def finalize(self, now: float) -> None:
+        """Flush internal state at end of simulation.
+
+        Unconsumed prefetch-buffer contents are charged as erroneous so
+        traffic accounting always balances against issued prefetches.
+        """
+        for buffer in self.buffers:
+            for _ in buffer.drain():
+                self._charge_erroneous()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks and shared mechanics.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _on_prefetch_hit(self, core: int, block: int, now: float) -> None:
+        """Observe a consumed prefetch (record + continue streaming)."""
+
+    def _charge_erroneous(self) -> None:
+        self.stats.erroneous += 1
+        self.traffic.add_blocks(TrafficCategory.ERRONEOUS_PREFETCH)
+
+    def _issue_prefetch(
+        self, core: int, block: int, now: float, stream: int = -1
+    ) -> bool:
+        """Issue one prefetch for ``core`` if it passes the filters.
+
+        Returns True when a fill was actually started.  The data fetch is
+        a low-priority DRAM read; its traffic is charged when the block is
+        consumed (useful) or displaced/drained (erroneous).
+        """
+        buffer = self.buffers[core]
+        if block in buffer:
+            return False
+        if self._filter is not None and self._filter(block):
+            self.stats.filtered += 1
+            return False
+        if self.dram.low_backlog(now) > self._backlog_limit:
+            self.stats.dropped += 1
+            return False
+        arrival = self.dram.request(now, Priority.LOW)
+        displaced = buffer.insert(
+            PrefetchedBlock(
+                block=block, issued_at=now, arrival=arrival, stream=stream
+            )
+        )
+        if displaced is not None:
+            self._charge_erroneous()
+        self.stats.issued += 1
+        return True

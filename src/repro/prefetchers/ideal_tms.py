@@ -1,0 +1,160 @@
+"""Idealized temporal memory streaming (TMS) with magic on-chip meta-data.
+
+This is the paper's Section 5.2 reference design: a history of miss
+addresses recorded in a "magic" on-chip buffer with impractically large
+capacity and zero-latency, infinite-bandwidth lookup.  It establishes the
+*performance potential* that the practical off-chip STMS design then
+approaches (Figs. 4 and 9), and — with an entry cap on its index — the
+storage-requirement curve of Figure 1 (left).
+
+Only prefetch *data* fills touch DRAM; meta-data reads/writes are free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficMeter
+from repro.prefetchers.base import ResidencyFilter, TemporalPrefetcher
+
+
+class _MagicIndex:
+    """Address -> (core, history position) map, optionally entry-capped.
+
+    With ``max_entries`` set, the index behaves as a global-LRU
+    correlation table, which is how Figure 1 (left) measures how many
+    correlation entries a given coverage level requires.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive when given")
+        self.max_entries = max_entries
+        self._map: OrderedDict[int, tuple[int, int]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def lookup(self, block: int) -> tuple[int, int] | None:
+        """Most recent prior occurrence of ``block``, LRU-refreshed."""
+        position = self._map.get(block)
+        if position is not None and self.max_entries is not None:
+            self._map.move_to_end(block)
+        return position
+
+    def update(self, block: int, core: int, position: int) -> None:
+        """Point ``block`` at its newest history position."""
+        if block in self._map:
+            self._map.pop(block)
+        elif (
+            self.max_entries is not None
+            and len(self._map) >= self.max_entries
+        ):
+            self._map.popitem(last=False)
+        self._map[block] = (core, position)
+
+
+class _StreamCursor:
+    """A position within some core's recorded history being followed."""
+
+    __slots__ = ("source_core", "position", "serial")
+
+    def __init__(self, source_core: int, position: int, serial: int) -> None:
+        self.source_core = source_core
+        self.position = position
+        #: Monotonic stream generation, used to count in-flight prefetches
+        #: belonging to *this* stream (stale buffer entries don't count).
+        self.serial = serial
+
+
+class IdealTmsPrefetcher(TemporalPrefetcher):
+    """TMS with unbounded zero-latency on-chip meta-data.
+
+    Per-core histories record every off-chip miss and prefetched hit; a
+    shared index maps an address to its most recent occurrence.  On an
+    uncovered miss the prefetcher locates the previous occurrence and
+    streams the addresses that followed it, keeping ``lookahead``
+    prefetches in flight ahead of consumption.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        dram: DramChannel,
+        traffic: TrafficMeter,
+        residency_filter: ResidencyFilter | None = None,
+        buffer_blocks: int = 32,
+        lookahead: int = 12,
+        max_index_entries: int | None = None,
+    ) -> None:
+        super().__init__(
+            cores, dram, traffic, residency_filter, buffer_blocks
+        )
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.lookahead = lookahead
+        self.histories: list[list[int]] = [[] for _ in range(cores)]
+        self.index = _MagicIndex(max_index_entries)
+        self._streams: list[_StreamCursor | None] = [None] * cores
+        self._next_serial = 0
+
+    # ------------------------------------------------------------------
+    # Trigger and stream-following logic.
+    # ------------------------------------------------------------------
+
+    def on_demand_miss(self, core: int, block: int, now: float) -> None:
+        """Uncovered off-chip read: look up a stream, then record."""
+        self.stats.lookups += 1
+        located = self.index.lookup(block)
+        self._record(core, block)
+        if located is None:
+            # No stream found for this miss: keep following the current
+            # one — the miss may be unrelated noise interleaved with it.
+            return
+        self.stats.lookup_hits += 1
+        source_core, position = located
+        self._next_serial += 1
+        self._streams[core] = _StreamCursor(
+            source_core, position + 1, self._next_serial
+        )
+        self._stream_ahead(core, now)
+
+    def _on_prefetch_hit(self, core: int, block: int, now: float) -> None:
+        """Prefetched hits are recorded and keep the stream flowing."""
+        self._record(core, block)
+        self._stream_ahead(core, now)
+
+    def _record(self, core: int, block: int) -> None:
+        history = self.histories[core]
+        history.append(block)
+        self.index.update(block, core, len(history) - 1)
+
+    def _stream_ahead(self, core: int, now: float) -> None:
+        """Issue prefetches until ``lookahead`` are in flight or unread."""
+        cursor = self._streams[core]
+        if cursor is None:
+            return
+        source = self.histories[cursor.source_core]
+        # Maintain ~lookahead in-flight prefetches for the *current*
+        # stream; leftovers from abandoned streams age out of the FIFO
+        # buffer instead of throttling this one.
+        buffer = self.buffers[core]
+        budget = self.lookahead - buffer.outstanding(cursor.serial)
+        attempts = 0
+        issued = 0
+        # Bound the scan so residency-filtered runs cannot spin forever.
+        max_attempts = 4 * self.lookahead
+        while (
+            issued < budget
+            and attempts < max_attempts
+            and cursor.position < len(source)
+        ):
+            block = source[cursor.position]
+            cursor.position += 1
+            attempts += 1
+            if self._issue_prefetch(core, block, now, stream=cursor.serial):
+                issued += 1
+        if cursor.position >= len(source):
+            # Caught up with the recording head: stream exhausted.
+            self._streams[core] = None

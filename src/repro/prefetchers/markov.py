@@ -1,0 +1,82 @@
+"""Markov (pair-wise correlating) prefetcher [Joseph & Grunwald, ISCA'97].
+
+The simplest address-correlating design from the paper's background
+section: a set-associative table maps a miss address to its recently
+observed successor misses.  On a miss, all remembered successors are
+prefetched — but only *one* miss ahead, which limits memory-level
+parallelism and lookahead.  Included as an ablation baseline to contrast
+pair-wise correlation with temporal streaming.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficMeter
+from repro.prefetchers.base import ResidencyFilter, TemporalPrefetcher
+
+
+class MarkovPrefetcher(TemporalPrefetcher):
+    """Pair-wise successor prediction with an entry-capped on-chip table."""
+
+    def __init__(
+        self,
+        cores: int,
+        dram: DramChannel,
+        traffic: TrafficMeter,
+        residency_filter: ResidencyFilter | None = None,
+        buffer_blocks: int = 32,
+        successors_per_entry: int = 2,
+        max_entries: int = 16384,
+    ) -> None:
+        super().__init__(
+            cores, dram, traffic, residency_filter, buffer_blocks
+        )
+        if successors_per_entry <= 0:
+            raise ValueError("successors_per_entry must be positive")
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.successors_per_entry = successors_per_entry
+        self.max_entries = max_entries
+        #: addr -> MRU-ordered list of observed successors.
+        self._table: OrderedDict[int, list[int]] = OrderedDict()
+        #: Last miss address seen per core (the correlation source).
+        self._last_miss: list[int | None] = [None] * cores
+
+    def on_demand_miss(self, core: int, block: int, now: float) -> None:
+        self._train(core, block)
+        self._predict(core, block, now)
+
+    def _on_prefetch_hit(self, core: int, block: int, now: float) -> None:
+        # A consumed prefetch is a miss the table predicted; keep training
+        # on it so chains of pairs extend across covered misses.
+        self._train(core, block)
+        self._predict(core, block, now)
+
+    def _train(self, core: int, block: int) -> None:
+        previous = self._last_miss[core]
+        self._last_miss[core] = block
+        if previous is None or previous == block:
+            return
+        successors = self._table.get(previous)
+        if successors is None:
+            if len(self._table) >= self.max_entries:
+                self._table.popitem(last=False)
+            self._table[previous] = [block]
+            return
+        self._table.move_to_end(previous)
+        if block in successors:
+            successors.remove(block)
+        successors.insert(0, block)
+        del successors[self.successors_per_entry:]
+
+    def _predict(self, core: int, block: int, now: float) -> None:
+        self.stats.lookups += 1
+        successors = self._table.get(block)
+        if not successors:
+            return
+        self.stats.lookup_hits += 1
+        self._table.move_to_end(block)
+        for successor in successors:
+            self._issue_prefetch(core, successor, now)

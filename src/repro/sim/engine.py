@@ -1,0 +1,348 @@
+"""Trace-driven CMP simulator with limited-overlap timing.
+
+Each core replays its trace on a local clock; a heap interleaves cores in
+global time order so the shared L2, MSHRs, and DRAM channel observe a
+consistent schedule.  Per record:
+
+1. the core spends its compute cycles (``work``),
+2. the access walks L1 -> victim buffer -> L2,
+3. an off-chip read consults the stride prefetcher's buffer, then the
+   temporal prefetcher's buffer, then issues a demand fetch;
+4. dependent misses stall the core until data arrives, independent ones
+   overlap — memory-level parallelism emerges from the trace's
+   dependence structure, bounded by the shared L2 MSHR file.
+
+A warm-up phase (sized by the trace) runs first with full state effects
+but no accounting, mirroring the paper's warmed-checkpoint methodology;
+statistics are reset at the measurement boundary.
+
+Placement note: the paper probes the prefetch buffer at L1-miss time;
+for accounting clarity we probe it after the L2 lookup.  Because the
+residency filter prevents prefetching L2-resident blocks, the two
+orderings see the same events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.memory.dram import DramChannel, DramConfig, Priority
+from repro.memory.hierarchy import CmpConfig, CmpHierarchy, ServicePoint
+from repro.memory.mshr import MshrFile
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+from repro.prefetchers.base import PrefetcherStats, TemporalPrefetcher
+from repro.prefetchers.stride import StridePrefetcher, StrideStats
+from repro.sim.metrics import CoverageCounts, MlpTracker, SimResult
+from repro.sim.timing import TimingModel
+from repro.workloads.trace import Trace
+
+#: Builds the temporal prefetcher under test.  Receives the core count,
+#: the shared DRAM channel and traffic meter, and the residency filter.
+TemporalFactory = Callable[
+    [int, DramChannel, TrafficMeter, Callable[[int], bool]],
+    TemporalPrefetcher,
+]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Machine configuration for one simulation."""
+
+    cmp: CmpConfig = field(default_factory=CmpConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    timing: TimingModel = field(default_factory=TimingModel)
+    #: Include the base system's stride prefetcher (paper baseline does).
+    use_stride: bool = True
+    #: Track per-core MLP of uncovered off-chip reads (Table 2).
+    track_mlp: bool = True
+    #: Collect the per-core off-chip read-miss address sequence during
+    #: the measured phase (offline temporal-stream analysis, Fig. 6).
+    collect_miss_log: bool = False
+
+
+class Simulator:
+    """Runs traces against a machine configuration."""
+
+    def __init__(self, config: "SimConfig | None" = None) -> None:
+        self.config = config if config is not None else SimConfig()
+
+    def run(
+        self,
+        trace: Trace,
+        temporal_factory: "TemporalFactory | None" = None,
+        label: str = "baseline",
+    ) -> SimResult:
+        """Simulate ``trace``, optionally with a temporal prefetcher."""
+        if trace.cores > self.config.cmp.cores:
+            raise ValueError(
+                f"trace has {trace.cores} cores but the machine only "
+                f"{self.config.cmp.cores}"
+            )
+        state = _RunState(self.config, trace, temporal_factory)
+        state.run_warmup()
+        state.reset_accounting()
+        state.run_measured()
+        return state.result(label)
+
+
+class _RunState:
+    """All mutable state of one simulation run."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        trace: Trace,
+        temporal_factory: "TemporalFactory | None",
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.traffic = TrafficMeter()
+        self.hierarchy = CmpHierarchy(config.cmp, self.traffic)
+        self.dram = DramChannel(config.dram)
+        self.mshrs = MshrFile(config.cmp.l2_mshrs)
+        self.stride: Optional[StridePrefetcher] = (
+            StridePrefetcher(trace.cores, self.dram)
+            if config.use_stride
+            else None
+        )
+        self.temporal: Optional[TemporalPrefetcher] = None
+        if temporal_factory is not None:
+            self.temporal = temporal_factory(
+                trace.cores,
+                self.dram,
+                self.traffic,
+                self.hierarchy.l2.lookup,
+            )
+        self.coverage = CoverageCounts()
+        self.mlp = MlpTracker(trace.cores) if config.track_mlp else None
+        self.miss_log: "list[list[int]] | None" = (
+            [[] for _ in range(trace.cores)]
+            if config.collect_miss_log
+            else None
+        )
+        #: Completion times of each core's outstanding off-chip misses
+        #: (ROB-window bound on per-core memory-level parallelism).
+        self.outstanding: list[list[float]] = [
+            [] for _ in range(trace.cores)
+        ]
+        self.clocks = [0.0] * trace.cores
+        self.cursors = [0] * trace.cores
+        self.measure_start = [0.0] * trace.cores
+        self.measured_records = 0
+        self.measuring = False
+
+    # ------------------------------------------------------------------
+    # Phases.
+    # ------------------------------------------------------------------
+
+    def run_warmup(self) -> None:
+        limits = [
+            self.trace.warmup_records(core)
+            for core in range(self.trace.cores)
+        ]
+        self._run_until(limits)
+
+    def reset_accounting(self) -> None:
+        """Statistics reset at the measurement boundary (state kept)."""
+        self.traffic.reset()
+        self.hierarchy.reset_stats()
+        self.dram.stats.requests = 0
+        self.dram.stats.busy_cycles = 0.0
+        self.dram.stats.queue_cycles = 0.0
+        if self.stride is not None:
+            self.stride.stats = StrideStats()
+        if self.temporal is not None:
+            self.temporal.stats = PrefetcherStats()
+        self.coverage = CoverageCounts()
+        self.measure_start = list(self.clocks)
+        self.measuring = True
+
+    def run_measured(self) -> None:
+        limits = [
+            self.trace.core_records(core)
+            for core in range(self.trace.cores)
+        ]
+        self._run_until(limits)
+        end = max(self.clocks) if self.clocks else 0.0
+        if self.temporal is not None:
+            self.temporal.finalize(end)
+        if self.stride is not None:
+            self.stride.finalize()
+
+    def _run_until(self, limits: list[int]) -> None:
+        """Advance every core to its per-core record limit, time-ordered."""
+        heap = [
+            (self.clocks[core], core)
+            for core in range(self.trace.cores)
+            if self.cursors[core] < limits[core]
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, core = heapq.heappop(heap)
+            self._step(core)
+            if self.cursors[core] < limits[core]:
+                heapq.heappush(heap, (self.clocks[core], core))
+
+    # ------------------------------------------------------------------
+    # One trace record.
+    # ------------------------------------------------------------------
+
+    def _step(self, core: int) -> None:
+        i = self.cursors[core]
+        self.cursors[core] = i + 1
+        block = int(self.trace.blocks[core][i])
+        dep = bool(self.trace.dep[core][i])
+        write = bool(self.trace.write[core][i])
+        timing = self.config.timing
+
+        t = self.clocks[core] + float(self.trace.work[core][i])
+        if self.measuring:
+            self.measured_records += 1
+
+        event = self.hierarchy.access(core, block, write=write)
+        service = event.service
+
+        if service is ServicePoint.L1:
+            t += timing.l1_hit
+        elif service is ServicePoint.VICTIM:
+            t += timing.victim_hit
+            self._drain_writebacks(event.writebacks, t)
+        elif service is ServicePoint.L2:
+            t += timing.l2_hit(dep)
+            self._drain_writebacks(event.writebacks, t)
+            if self.stride is not None:
+                self.stride.train(core, block, t)
+        else:
+            t = self._off_chip(core, block, t, dep, write)
+
+        self.clocks[core] = t
+
+    def _off_chip(
+        self, core: int, block: int, t: float, dep: bool, write: bool
+    ) -> float:
+        """Resolve an access no on-chip level could satisfy."""
+        timing = self.config.timing
+
+        # 1. Stride prefetcher buffer (part of the base system).
+        if self.stride is not None and self.stride.probe(core, block):
+            self.traffic.add_blocks(TrafficCategory.DEMAND_READ)
+            if self.measuring:
+                self.coverage.stride_covered += 1
+            t += timing.stride_hit(dep)
+            self._fill(core, block, write, t)
+            self.stride.train(core, block, t)
+            return t
+
+        # 2. Temporal prefetcher buffer.
+        if self.temporal is not None:
+            entry = self.temporal.consume(core, block, t)
+            if entry is not None:
+                if entry.is_arrived(t):
+                    if self.measuring:
+                        self.coverage.fully_covered += 1
+                    t += timing.prefetch_hit(dep)
+                else:
+                    if self.measuring:
+                        self.coverage.partially_covered += 1
+                    if dep:
+                        # A demand hit on an in-flight prefetch upgrades
+                        # it to demand urgency: the wait is capped at what
+                        # a fresh high-priority fetch would take (the
+                        # transfer itself was charged at prefetch issue).
+                        arrival = min(
+                            entry.arrival,
+                            self.dram.peek_completion(t, Priority.HIGH),
+                        )
+                        t = arrival + timing.prefetch_hit_dep
+                    else:
+                        t += timing.prefetch_hit_indep
+                self._fill(core, block, write, t)
+                if self.stride is not None:
+                    self.stride.train(core, block, t)
+                return t
+
+        # 3. Demand fetch from main memory.
+        issue = t
+        # Per-core miss window: an out-of-order core can only run ahead a
+        # bounded number of outstanding off-chip misses.
+        window = self.outstanding[core]
+        if window:
+            window[:] = [c for c in window if c > issue]
+            while len(window) >= timing.core_miss_window:
+                issue = min(window)
+                window.remove(issue)
+        self.mshrs.retire_complete(issue)
+        existing = self.mshrs.outstanding(block)
+        if existing is not None:
+            # Another core is already fetching this block: merge.
+            self.mshrs.merge(block)
+            completion = existing.complete_at
+        else:
+            if self.mshrs.full:
+                earliest = self.mshrs.earliest_completion()
+                if earliest is not None:
+                    issue = max(issue, earliest)
+                    self.mshrs.retire_complete(issue)
+            completion = self.dram.request(issue, Priority.HIGH)
+            self.traffic.add_blocks(TrafficCategory.DEMAND_READ)
+            self.mshrs.allocate(block, completion)
+        if self.measuring:
+            self.coverage.uncovered += 1
+            if self.mlp is not None:
+                self.mlp.add(core, issue, completion)
+            if self.miss_log is not None:
+                self.miss_log[core].append(block)
+        if dep:
+            t = completion
+            window.clear()
+        else:
+            t = issue + timing.miss_issue_overhead
+            window.append(completion)
+        self._fill(core, block, write, t)
+        if self.temporal is not None:
+            self.temporal.on_demand_miss(core, block, issue)
+        if self.stride is not None:
+            self.stride.train(core, block, t)
+        return t
+
+    def _fill(self, core: int, block: int, write: bool, now: float) -> None:
+        writebacks = self.hierarchy.fill_off_chip(core, block, dirty=write)
+        self._drain_writebacks(writebacks, now)
+
+    def _drain_writebacks(self, writebacks: list, now: float) -> None:
+        for _ in writebacks:
+            self.dram.request(now, Priority.HIGH)
+
+    # ------------------------------------------------------------------
+    # Result assembly.
+    # ------------------------------------------------------------------
+
+    def result(self, label: str) -> SimResult:
+        elapsed = max(
+            self.clocks[core] - self.measure_start[core]
+            for core in range(self.trace.cores)
+        )
+        l1_hits = sum(l1.stats.hits for l1 in self.hierarchy.l1s)
+        victim_hits = sum(v.hits for v in self.hierarchy.victims)
+        return SimResult(
+            workload=self.trace.name,
+            prefetcher=label,
+            measured_records=self.measured_records,
+            elapsed_cycles=elapsed,
+            coverage=self.coverage,
+            l1_hits=l1_hits,
+            victim_hits=victim_hits,
+            l2_hits=self.hierarchy.l2.stats.hits,
+            traffic=self.traffic.breakdown(),
+            overhead_per_useful_byte=self.traffic.overhead_per_useful_byte(),
+            metadata_bytes=self.traffic.metadata_bytes,
+            useful_bytes=self.traffic.useful_bytes,
+            mlp=self.mlp.result() if self.mlp is not None else 0.0,
+            prefetcher_stats=(
+                self.temporal.stats if self.temporal is not None else None
+            ),
+            dram_utilization=self.dram.utilization(max(elapsed, 1.0)),
+            miss_log=self.miss_log,
+        )

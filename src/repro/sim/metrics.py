@@ -1,0 +1,170 @@
+"""Simulation results: coverage, timing, traffic, and MLP.
+
+Definitions follow the paper:
+
+* **Coverage** — fraction of off-chip read misses eliminated by the
+  temporal prefetcher, *in excess of* the base system's stride
+  prefetcher: stride-covered accesses appear in neither numerator nor
+  denominator.
+* **Fully covered** — the prefetched block had arrived before the demand
+  reached it; **partially covered** — the prefetch was still in flight,
+  so only part of the memory latency was hidden (Fig. 9 left splits
+  these).
+* **MLP** — average number of outstanding off-chip demand reads while at
+  least one is outstanding, per core (Table 2).
+* **Overhead traffic** — meta-data and erroneous-prefetch bytes per
+  useful data byte (Figs. 7 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.traffic import TrafficBreakdown
+from repro.prefetchers.base import PrefetcherStats
+
+
+@dataclass
+class CoverageCounts:
+    """Raw coverage tallies collected during the measured phase."""
+
+    fully_covered: int = 0
+    partially_covered: int = 0
+    uncovered: int = 0
+    stride_covered: int = 0
+
+    @property
+    def temporal_eligible(self) -> int:
+        """Off-chip read misses the temporal prefetcher could target."""
+        return self.fully_covered + self.partially_covered + self.uncovered
+
+    @property
+    def coverage(self) -> float:
+        """Total coverage (full + partial), the paper's headline metric."""
+        eligible = self.temporal_eligible
+        if eligible == 0:
+            return 0.0
+        return (self.fully_covered + self.partially_covered) / eligible
+
+    @property
+    def full_coverage(self) -> float:
+        eligible = self.temporal_eligible
+        if eligible == 0:
+            return 0.0
+        return self.fully_covered / eligible
+
+    @property
+    def partial_coverage(self) -> float:
+        eligible = self.temporal_eligible
+        if eligible == 0:
+            return 0.0
+        return self.partially_covered / eligible
+
+
+@dataclass
+class _IntervalAccumulator:
+    """Online union/total tracker for one core's miss intervals.
+
+    Intervals arrive in non-decreasing start order (the core clock is
+    monotonic), so the union can be merged incrementally.
+    """
+
+    total: float = 0.0
+    union: float = 0.0
+    _current_start: float = -1.0
+    _current_end: float = -1.0
+    count: int = 0
+
+    def add(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError("interval end precedes start")
+        self.total += end - start
+        self.count += 1
+        if self._current_end < 0:
+            self._current_start, self._current_end = start, end
+            return
+        if start <= self._current_end:
+            self._current_end = max(self._current_end, end)
+        else:
+            self.union += self._current_end - self._current_start
+            self._current_start, self._current_end = start, end
+
+    def finish(self) -> None:
+        if self._current_end >= 0:
+            self.union += self._current_end - self._current_start
+            self._current_start = self._current_end = -1.0
+
+    @property
+    def mlp(self) -> float:
+        if self.union <= 0:
+            return 1.0 if self.count else 0.0
+        return self.total / self.union
+
+
+class MlpTracker:
+    """Per-core interval accumulation -> miss-weighted average MLP."""
+
+    def __init__(self, cores: int) -> None:
+        self._accumulators = [_IntervalAccumulator() for _ in range(cores)]
+
+    def add(self, core: int, start: float, end: float) -> None:
+        self._accumulators[core].add(start, end)
+
+    def result(self) -> float:
+        total_weighted = 0.0
+        total_count = 0
+        for accumulator in self._accumulators:
+            accumulator.finish()
+            if accumulator.count:
+                total_weighted += accumulator.mlp * accumulator.count
+                total_count += accumulator.count
+        if total_count == 0:
+            return 0.0
+        return total_weighted / total_count
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produces."""
+
+    workload: str
+    prefetcher: str
+    #: Trace records processed in the measured phase.
+    measured_records: int
+    #: Wall-clock cycles of the measured phase (max over cores).
+    elapsed_cycles: float
+    coverage: CoverageCounts = field(default_factory=CoverageCounts)
+    #: Demand accesses that hit each level during measurement.
+    l1_hits: int = 0
+    victim_hits: int = 0
+    l2_hits: int = 0
+    #: Traffic normalization snapshot.
+    traffic: "TrafficBreakdown | None" = None
+    overhead_per_useful_byte: float = 0.0
+    metadata_bytes: int = 0
+    useful_bytes: int = 0
+    #: Measured MLP of uncovered off-chip reads.
+    mlp: float = 0.0
+    #: Prefetcher-internal counters (issued/useful/erroneous/...).
+    prefetcher_stats: "PrefetcherStats | None" = None
+    #: DRAM channel utilization over the measured phase.
+    dram_utilization: float = 0.0
+    #: Per-core off-chip miss-address sequences (when collected).
+    miss_log: "list[list[int]] | None" = None
+
+    @property
+    def throughput(self) -> float:
+        """Committed records per cycle — the paper's user-IPC proxy."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.measured_records / self.elapsed_cycles
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Relative performance vs. a baseline run of the same trace."""
+        if baseline.measured_records != self.measured_records:
+            raise ValueError(
+                "speedup requires runs over the same measured records"
+            )
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return baseline.elapsed_cycles / self.elapsed_cycles

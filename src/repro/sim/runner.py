@@ -1,0 +1,194 @@
+"""High-level experiment runners.
+
+Convenience functions that wire a suite workload, a scaled machine
+configuration, and a prefetcher choice into one call:
+
+>>> from repro.sim import run_workload, PrefetcherKind
+>>> result = run_workload("web-apache", PrefetcherKind.STMS, scale="test")
+>>> 0.0 <= result.coverage.coverage <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from enum import Enum
+
+from repro.core.config import StmsConfig
+from repro.core.stms import StmsPrefetcher
+from repro.memory.hierarchy import CmpConfig
+from repro.prefetchers.fixed_depth import FixedDepthPrefetcher
+from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.sim.engine import SimConfig, Simulator, TemporalFactory
+from repro.sim.metrics import SimResult
+from repro.workloads.suite import ScalePreset, generate, get_scale
+from repro.workloads.trace import Trace
+
+
+class PrefetcherKind(Enum):
+    """Prefetcher configurations the experiments compare."""
+
+    #: Stride prefetcher only (the paper's base system).
+    BASELINE = "baseline"
+    #: Idealized TMS: magic on-chip meta-data (Section 5.2).
+    IDEAL_TMS = "ideal-tms"
+    #: The practical design: off-chip meta-data with hash-based lookup
+    #: and probabilistic update.
+    STMS = "stms"
+    #: Single-table fixed-prefetch-depth design (Section 5.4 contrast).
+    FIXED_DEPTH = "fixed-depth"
+    #: Pair-wise Markov prefetcher (background baseline).
+    MARKOV = "markov"
+
+
+def make_sim_config(
+    scale: "str | ScalePreset" = "bench",
+    use_stride: bool = True,
+) -> SimConfig:
+    """Machine configuration scaled consistently with the workloads."""
+    preset = get_scale(scale)
+    return SimConfig(
+        cmp=CmpConfig().scaled(preset.cache_scale),
+        use_stride=use_stride,
+    )
+
+
+def make_stms_config(
+    scale: "str | ScalePreset" = "bench",
+    cores: int = 4,
+    **overrides: object,
+) -> StmsConfig:
+    """STMS configuration with meta-data capacities from the preset."""
+    preset = get_scale(scale)
+    parameters: dict[str, object] = {
+        "cores": cores,
+        "history_entries": preset.history_entries,
+        "index_buckets": preset.index_buckets,
+    }
+    parameters.update(overrides)
+    return StmsConfig(**parameters)  # type: ignore[arg-type]
+
+
+def make_factory(
+    kind: PrefetcherKind,
+    stms_config: "StmsConfig | None" = None,
+    depth: int = 4,
+    lookup_rounds: int = 1,
+    max_index_entries: "int | None" = None,
+) -> "TemporalFactory | None":
+    """Build the engine factory for a prefetcher kind."""
+    if kind is PrefetcherKind.BASELINE:
+        return None
+    if kind is PrefetcherKind.IDEAL_TMS:
+        return lambda cores, dram, traffic, resident: IdealTmsPrefetcher(
+            cores,
+            dram,
+            traffic,
+            residency_filter=resident,
+            max_index_entries=max_index_entries,
+        )
+    if kind is PrefetcherKind.STMS:
+        config = stms_config if stms_config is not None else StmsConfig()
+
+        def _stms_factory(cores, dram, traffic, resident):
+            cfg = (
+                config
+                if config.cores == cores
+                else replace(config, cores=cores)
+            )
+            return StmsPrefetcher(
+                cfg, dram, traffic, residency_filter=resident
+            )
+
+        return _stms_factory
+    if kind is PrefetcherKind.FIXED_DEPTH:
+        return lambda cores, dram, traffic, resident: FixedDepthPrefetcher(
+            cores,
+            dram,
+            traffic,
+            depth=depth,
+            residency_filter=resident,
+            lookup_rounds=lookup_rounds,
+        )
+    if kind is PrefetcherKind.MARKOV:
+        return lambda cores, dram, traffic, resident: MarkovPrefetcher(
+            cores, dram, traffic, residency_filter=resident
+        )
+    raise ValueError(f"unhandled prefetcher kind {kind!r}")
+
+
+def run_trace(
+    trace: Trace,
+    kind: PrefetcherKind,
+    scale: "str | ScalePreset" = "bench",
+    stms_config: "StmsConfig | None" = None,
+    sim_config: "SimConfig | None" = None,
+    **factory_options: object,
+) -> SimResult:
+    """Simulate an already-generated trace with one prefetcher kind."""
+    if sim_config is None:
+        sim_config = make_sim_config(scale)
+    if kind is PrefetcherKind.STMS and stms_config is None:
+        stms_config = make_stms_config(scale, cores=trace.cores)
+    factory = make_factory(kind, stms_config, **factory_options)  # type: ignore[arg-type]
+    simulator = Simulator(sim_config)
+    return simulator.run(trace, factory, label=kind.value)
+
+
+def run_workload(
+    workload: str,
+    kind: PrefetcherKind,
+    scale: "str | ScalePreset" = "bench",
+    cores: int = 4,
+    seed: int = 7,
+    records_per_core: "int | None" = None,
+    stms_config: "StmsConfig | None" = None,
+    sim_config: "SimConfig | None" = None,
+    trace: "Trace | None" = None,
+    **factory_options: object,
+) -> SimResult:
+    """Generate (or reuse) a suite workload and simulate it."""
+    if trace is None:
+        trace = generate(
+            workload,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            records_per_core=records_per_core,
+        )
+    return run_trace(
+        trace,
+        kind,
+        scale=scale,
+        stms_config=stms_config,
+        sim_config=sim_config,
+        **factory_options,
+    )
+
+
+def compare_prefetchers(
+    workload: str,
+    kinds: "list[PrefetcherKind] | None" = None,
+    scale: "str | ScalePreset" = "bench",
+    cores: int = 4,
+    seed: int = 7,
+    stms_config: "StmsConfig | None" = None,
+) -> dict[PrefetcherKind, SimResult]:
+    """Run several prefetchers over the *same* generated trace."""
+    if kinds is None:
+        kinds = [
+            PrefetcherKind.BASELINE,
+            PrefetcherKind.IDEAL_TMS,
+            PrefetcherKind.STMS,
+        ]
+    trace = generate(workload, scale=scale, cores=cores, seed=seed)
+    results: dict[PrefetcherKind, SimResult] = {}
+    for kind in kinds:
+        results[kind] = run_trace(
+            trace,
+            kind,
+            scale=scale,
+            stms_config=stms_config,
+        )
+    return results

@@ -1,0 +1,51 @@
+"""Synthetic workload suite standing in for the paper's trace inputs.
+
+The paper drives its evaluation with full-system traces of commercial
+servers (TPC-C on Oracle and DB2, SPECweb99 on Apache and Zeus, TPC-H
+queries) and scientific codes (em3d, ocean, moldyn).  Those traces cannot
+be redistributed, so this subpackage synthesizes per-core memory-access
+traces that match the *statistics that drive temporal prefetching*:
+
+* recurring temporal streams with the paper's heavy-tailed length
+  distribution (half of commercial streamed blocks from streams >= ~10),
+* a spectrum of reuse distances (commercial) vs. iteration-periodic reuse
+  (scientific),
+* visit-once scan behaviour for DSS,
+* dependence structure yielding the paper's Table 2 MLP values.
+"""
+
+from repro.workloads.base import (
+    ActivityMix,
+    GeneratorContext,
+    StreamPool,
+    TraceGenerator,
+)
+from repro.workloads.commercial import CommercialGenerator, CommercialParams
+from repro.workloads.dss import DssGenerator, DssParams
+from repro.workloads.scientific import ScientificGenerator, ScientificParams
+from repro.workloads.suite import (
+    WORKLOADS,
+    WorkloadSpec,
+    generate,
+    workload_names,
+)
+from repro.workloads.trace import Trace, TraceStats
+
+__all__ = [
+    "ActivityMix",
+    "GeneratorContext",
+    "StreamPool",
+    "TraceGenerator",
+    "CommercialGenerator",
+    "CommercialParams",
+    "DssGenerator",
+    "DssParams",
+    "ScientificGenerator",
+    "ScientificParams",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "generate",
+    "workload_names",
+    "Trace",
+    "TraceStats",
+]

@@ -1,0 +1,197 @@
+"""Trace container: per-core memory-access streams.
+
+A :class:`Trace` stores, for each core, four parallel numpy arrays:
+
+``blocks``
+    Physical block numbers accessed (L1-level demand references; the
+    simulated hierarchy does its own filtering).
+``work``
+    Compute cycles the core spends *before* issuing each access.  This
+    aggregates instruction execution and L1-resident activity between the
+    interesting references so the timing model doesn't simulate them
+    individually.
+``dep``
+    True when the access is on the program's critical dependence chain
+    (e.g. a pointer dereference feeding the next address): a dependent
+    off-chip miss stalls the core until the data arrives, an independent
+    one overlaps.  Memory-level parallelism emerges from this structure.
+``write``
+    True for stores (dirty fills, write-back traffic).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace (for reports and sanity tests)."""
+
+    records: int
+    cores: int
+    distinct_blocks: int
+    dependent_fraction: float
+    write_fraction: float
+    mean_work: float
+
+
+@dataclass
+class Trace:
+    """Per-core access streams plus generator metadata."""
+
+    name: str
+    blocks: list[np.ndarray] = field(default_factory=list)
+    work: list[np.ndarray] = field(default_factory=list)
+    dep: list[np.ndarray] = field(default_factory=list)
+    write: list[np.ndarray] = field(default_factory=list)
+    #: Number of distinct application blocks the generator drew from.
+    working_set_blocks: int = 0
+    #: Fraction of records the engine should treat as warm-up (not
+    #: measured), so predictors and caches start from realistic state.
+    warmup_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.blocks), len(self.work), len(self.dep),
+                   len(self.write)}
+        if len(lengths) != 1:
+            raise ValueError("per-core column lists have mismatched lengths")
+        for core in range(len(self.blocks)):
+            n = len(self.blocks[core])
+            if not (len(self.work[core]) == len(self.dep[core])
+                    == len(self.write[core]) == n):
+                raise ValueError(f"core {core}: column arrays differ in size")
+
+    @property
+    def cores(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def records(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def core_records(self, core: int) -> int:
+        return len(self.blocks[core])
+
+    def warmup_records(self, core: int) -> int:
+        """Number of leading records on ``core`` that are warm-up only."""
+        return int(len(self.blocks[core]) * self.warmup_fraction)
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics across all cores."""
+        if self.records == 0:
+            return TraceStats(0, self.cores, 0, 0.0, 0.0, 0.0)
+        all_blocks = np.concatenate(self.blocks)
+        all_dep = np.concatenate(self.dep)
+        all_write = np.concatenate(self.write)
+        all_work = np.concatenate(self.work)
+        return TraceStats(
+            records=self.records,
+            cores=self.cores,
+            distinct_blocks=int(np.unique(all_blocks).size),
+            dependent_fraction=float(all_dep.mean()),
+            write_fraction=float(all_write.mean()),
+            mean_work=float(all_work.mean()),
+        )
+
+    def sliced(self, max_records_per_core: int) -> "Trace":
+        """Return a truncated copy (used to shrink traces for tests)."""
+        if max_records_per_core <= 0:
+            raise ValueError("max_records_per_core must be positive")
+        return Trace(
+            name=self.name,
+            blocks=[b[:max_records_per_core] for b in self.blocks],
+            work=[w[:max_records_per_core] for w in self.work],
+            dep=[d[:max_records_per_core] for d in self.dep],
+            write=[w[:max_records_per_core] for w in self.write],
+            working_set_blocks=self.working_set_blocks,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+    def save(self, path: str) -> None:
+        """Persist the trace as a compressed ``.npz`` archive."""
+        payload: dict[str, np.ndarray] = {
+            "meta_name": np.array([self.name]),
+            "meta_working_set": np.array([self.working_set_blocks]),
+            "meta_warmup": np.array([self.warmup_fraction]),
+            "meta_cores": np.array([self.cores]),
+        }
+        for core in range(self.cores):
+            payload[f"blocks_{core}"] = self.blocks[core]
+            payload[f"work_{core}"] = self.work[core]
+            payload[f"dep_{core}"] = self.dep[core]
+            payload[f"write_{core}"] = self.write[core]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            data = np.load(io.BytesIO(handle.read()), allow_pickle=False)
+        cores = int(data["meta_cores"][0])
+        return cls(
+            name=str(data["meta_name"][0]),
+            blocks=[data[f"blocks_{c}"] for c in range(cores)],
+            work=[data[f"work_{c}"] for c in range(cores)],
+            dep=[data[f"dep_{c}"] for c in range(cores)],
+            write=[data[f"write_{c}"] for c in range(cores)],
+            working_set_blocks=int(data["meta_working_set"][0]),
+            warmup_fraction=float(data["meta_warmup"][0]),
+        )
+
+
+class TraceBuilder:
+    """Accumulates one core's records in Python lists, then freezes them.
+
+    Generators append record-by-record; :meth:`freeze` converts to the
+    compact numpy representation stored inside :class:`Trace`.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[int] = []
+        self._work: list[float] = []
+        self._dep: list[bool] = []
+        self._write: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def add(
+        self,
+        block: int,
+        work: float,
+        dep: bool = True,
+        write: bool = False,
+    ) -> None:
+        """Append one access record."""
+        self._blocks.append(block)
+        self._work.append(work)
+        self._dep.append(dep)
+        self._write.append(write)
+
+    def extend(
+        self,
+        blocks: "np.ndarray | list[int]",
+        work: float,
+        dep: bool = True,
+        write: bool = False,
+    ) -> None:
+        """Append a run of accesses sharing the same attributes."""
+        n = len(blocks)
+        self._blocks.extend(int(b) for b in blocks)
+        self._work.extend([work] * n)
+        self._dep.extend([dep] * n)
+        self._write.extend([write] * n)
+
+    def freeze(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return the four column arrays."""
+        return (
+            np.asarray(self._blocks, dtype=np.int64),
+            np.asarray(self._work, dtype=np.float32),
+            np.asarray(self._dep, dtype=bool),
+            np.asarray(self._write, dtype=bool),
+        )

@@ -1,0 +1,25 @@
+"""Tests for the MLP measurement helpers."""
+
+from repro.analysis.mlp import measure_mlp, measure_suite_mlp, mlp_from_result
+from repro.sim.metrics import SimResult
+
+
+class TestMlpHelpers:
+    def test_measure_mlp_single_workload(self):
+        mlp = measure_mlp("sci-moldyn", scale="test", cores=2, seed=5)
+        # moldyn is fully serialized (paper: MLP = 1.0).
+        assert 1.0 <= mlp <= 1.3
+
+    def test_measure_suite_mlp(self):
+        values = measure_suite_mlp(
+            ("oltp-db2", "sci-moldyn"), scale="test", cores=2, seed=5
+        )
+        assert set(values) == {"oltp-db2", "sci-moldyn"}
+        assert all(v >= 1.0 for v in values.values())
+
+    def test_mlp_from_result(self):
+        result = SimResult(
+            workload="w", prefetcher="p", measured_records=1,
+            elapsed_cycles=1.0, mlp=1.45,
+        )
+        assert mlp_from_result(result) == 1.45

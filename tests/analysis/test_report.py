@@ -1,0 +1,73 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.analysis.report import (
+    bar_chart,
+    format_percent,
+    format_table,
+    grouped_bar_chart,
+    series_table,
+)
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.125) == "12.5%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.5], ["longer", 2.25]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("----")
+        assert "1.500" in table and "2.250" in table
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestBarCharts:
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_chart_includes_all_series(self):
+        chart = grouped_bar_chart(
+            ["w1", "w2"],
+            {"ideal": [0.5, 0.6], "stms": [0.45, 0.5]},
+            title="cov",
+        )
+        assert chart.count("ideal") == 2
+        assert chart.count("stms") == 2
+        assert chart.splitlines()[0] == "cov"
+
+    def test_grouped_chart_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+
+class TestSeriesTable:
+    def test_rows_per_x_value(self):
+        table = series_table(
+            "p", [0.1, 0.5], {"coverage": [0.4, 0.5], "traffic": [1.0, 2.0]}
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "coverage" in lines[0]
+        assert "0.400" in lines[2]

@@ -1,0 +1,105 @@
+"""Unit and property tests for temporal-stream extraction."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.streams import (
+    extract_streams,
+    merge_statistics,
+    stream_length_cdf,
+)
+
+
+class TestExtraction:
+    def test_pure_repeat_is_one_stream(self):
+        sequence = [1, 2, 3, 4, 1, 2, 3, 4]
+        stats = extract_streams(sequence, max_gap=0)
+        assert list(stats.lengths) == [4]
+
+    def test_periodic_sequence_chains_into_one_stream(self):
+        # Each repetition's previous occurrences are positionally
+        # consecutive with the one before, so a periodic pattern forms a
+        # single long stream — the scientific-iteration behaviour.
+        base = [1, 2, 3]
+        stats = extract_streams(base * 3, max_gap=0)
+        assert list(stats.lengths) == [6]
+
+    def test_no_repetition_no_streams(self):
+        stats = extract_streams(list(range(50)), max_gap=0)
+        assert stats.stream_count == 0
+        assert stats.streamed_blocks == 0
+
+    def test_reordered_repeat_breaks_stream(self):
+        stats = extract_streams([1, 2, 3, 3, 2, 1], max_gap=0)
+        assert stats.stream_count == 0
+
+    def test_two_distinct_streams(self):
+        seq = [1, 2, 3, 9, 7, 8, 1, 2, 3, 5, 7, 8]
+        stats = extract_streams(seq, max_gap=0)
+        assert sorted(stats.lengths.tolist()) == [2, 3]
+
+    def test_gap_tolerance_bridges_insertions(self):
+        # Second pass has a one-miss insertion inside the stream.
+        seq = [1, 2, 3, 4, 1, 2, 99, 3, 4]
+        strict = extract_streams(seq, max_gap=0)
+        tolerant = extract_streams(seq, max_gap=1)
+        assert max(strict.lengths.tolist(), default=0) == 2
+        assert max(tolerant.lengths.tolist(), default=0) == 4
+
+    def test_gap_tolerance_skips_recorded_noise(self):
+        # First pass recorded noise inside the stream; second pass skips it.
+        seq = [1, 2, 77, 3, 4, 1, 2, 3, 4]
+        tolerant = extract_streams(seq, max_gap=1)
+        assert max(tolerant.lengths.tolist(), default=0) == 4
+
+    def test_weighted_median(self):
+        stats = extract_streams([1, 2] * 2 + list(range(100, 120)) * 2,
+                                max_gap=0)
+        assert stats.weighted_median_length() >= 2
+
+    def test_total_misses_recorded(self):
+        stats = extract_streams([1, 2, 3])
+        assert stats.total_misses == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=300))
+    def test_streamed_blocks_never_exceed_misses(self, sequence):
+        stats = extract_streams(sequence, max_gap=2)
+        assert stats.streamed_blocks <= max(0, 2 * stats.total_misses)
+        assert all(length >= 2 for length in stats.lengths)
+
+
+class TestAggregation:
+    def test_merge(self):
+        a = extract_streams([1, 2, 3, 1, 2, 3], max_gap=0)
+        b = extract_streams([7, 8, 7, 8], max_gap=0)
+        merged = merge_statistics([a, b])
+        assert sorted(merged.lengths.tolist()) == [2, 3]
+        assert merged.total_misses == 10
+
+    def test_merge_empty(self):
+        merged = merge_statistics([])
+        assert merged.stream_count == 0
+
+    def test_cdf_monotone_and_bounded(self):
+        stats = extract_streams(
+            [1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 9, 8, 9, 8], max_gap=0
+        )
+        cdf = stream_length_cdf(stats, points=[1, 2, 5, 100])
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_cdf_empty(self):
+        stats = extract_streams([], max_gap=0)
+        cdf = stream_length_cdf(stats, points=[1, 10])
+        assert all(f == 0.0 for _, f in cdf)
+
+    def test_cdf_weighting_by_blocks(self):
+        # One stream of 2 and one of 8: 20% of blocks from length <= 2.
+        stats = extract_streams(
+            [1, 2] * 2 + list(range(100, 108)) * 2, max_gap=0
+        )
+        cdf = dict(stream_length_cdf(stats, points=[2, 8]))
+        assert cdf[2] == 0.2
+        assert cdf[8] == 1.0

@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic traces and machine components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import DramChannel, DramConfig
+from repro.memory.hierarchy import CmpConfig
+from repro.memory.traffic import TrafficMeter
+from repro.sim.engine import SimConfig
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def dram() -> DramChannel:
+    return DramChannel(DramConfig())
+
+
+@pytest.fixture
+def traffic() -> TrafficMeter:
+    return TrafficMeter()
+
+
+@pytest.fixture
+def tiny_cmp_config() -> CmpConfig:
+    """A miniature hierarchy: 1 KB L1s, 8 KB shared L2."""
+    return CmpConfig(
+        cores=2,
+        l1_size_bytes=1024,
+        l1_ways=2,
+        l1_victim_blocks=4,
+        l2_size_bytes=8192,
+        l2_ways=4,
+        l2_banks=4,
+        l2_mshrs=16,
+    )
+
+
+@pytest.fixture
+def tiny_sim_config(tiny_cmp_config: CmpConfig) -> SimConfig:
+    return SimConfig(cmp=tiny_cmp_config)
+
+
+def make_trace(
+    per_core_blocks: "list[list[int]]",
+    work: float = 50.0,
+    dep: bool = True,
+    write: bool = False,
+    name: str = "synthetic",
+    warmup_fraction: float = 0.0,
+) -> Trace:
+    """Build a trace from explicit per-core block sequences."""
+    blocks = [np.asarray(seq, dtype=np.int64) for seq in per_core_blocks]
+    return Trace(
+        name=name,
+        blocks=blocks,
+        work=[np.full(len(b), work, dtype=np.float32) for b in blocks],
+        dep=[np.full(len(b), dep, dtype=bool) for b in blocks],
+        write=[np.full(len(b), write, dtype=bool) for b in blocks],
+        working_set_blocks=int(
+            max((int(b.max()) + 1 for b in blocks if len(b)), default=0)
+        ),
+        warmup_fraction=warmup_fraction,
+    )
+
+
+def repeating_sequence(
+    length: int, repeats: int, seed: int = 0, span: int = 1_000_000
+) -> "list[int]":
+    """A distinct random block sequence repeated several times."""
+    rng = np.random.default_rng(seed)
+    base = rng.permutation(span)[:length].astype(np.int64)
+    return list(np.tile(base, repeats))

@@ -1,0 +1,98 @@
+"""Unit tests for the on-chip bucket buffer."""
+
+import pytest
+
+from repro.core.bucket_buffer import BucketBuffer
+from repro.memory.address import BLOCK_BYTES
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+def make_buffer(capacity: int = 4) -> BucketBuffer:
+    return BucketBuffer(
+        capacity=capacity, dram=DramChannel(), traffic=TrafficMeter()
+    )
+
+
+class TestAccess:
+    def test_miss_charges_chosen_category(self):
+        buffer = make_buffer()
+        arrival = buffer.access(
+            3, now=0.0, charge=TrafficCategory.UPDATE_INDEX
+        )
+        assert arrival > 0.0
+        assert (
+            buffer.traffic.bytes_for(TrafficCategory.UPDATE_INDEX)
+            == BLOCK_BYTES
+        )
+        assert buffer.stats.misses == 1
+
+    def test_hit_is_free_and_instant(self):
+        buffer = make_buffer()
+        buffer.access(3, now=0.0)
+        before = buffer.traffic.total_bytes
+        arrival = buffer.access(3, now=10.0)
+        assert arrival == 10.0
+        assert buffer.traffic.total_bytes == before
+        assert buffer.stats.hits == 1
+
+    def test_lookup_then_update_shares_residency(self):
+        """The paper's lookup/update interplay: an update right after a
+        lookup to the same bucket costs no extra read."""
+        buffer = make_buffer()
+        buffer.access(5, now=0.0, charge=TrafficCategory.LOOKUP_STREAMS)
+        buffer.access(
+            5, now=1.0, dirty=True, charge=TrafficCategory.UPDATE_INDEX
+        )
+        assert buffer.traffic.bytes_for(TrafficCategory.UPDATE_INDEX) == 0
+        assert (
+            buffer.traffic.bytes_for(TrafficCategory.LOOKUP_STREAMS)
+            == BLOCK_BYTES
+        )
+
+
+class TestWriteBack:
+    def test_clean_eviction_is_free(self):
+        buffer = make_buffer(capacity=2)
+        buffer.access(1, now=0.0)
+        buffer.access(2, now=0.0)
+        buffer.access(3, now=0.0)  # evicts bucket 1 (clean)
+        assert buffer.stats.writebacks == 0
+
+    def test_dirty_eviction_writes_back(self):
+        buffer = make_buffer(capacity=2)
+        buffer.access(1, now=0.0, dirty=True)
+        buffer.access(2, now=0.0)
+        buffer.access(3, now=0.0)
+        assert buffer.stats.writebacks == 1
+        assert (
+            buffer.traffic.bytes_for(TrafficCategory.UPDATE_INDEX)
+            >= BLOCK_BYTES
+        )
+
+    def test_mark_dirty_requires_residency(self):
+        buffer = make_buffer()
+        with pytest.raises(KeyError):
+            buffer.mark_dirty(9)
+
+    def test_drain_writes_all_dirty(self):
+        buffer = make_buffer()
+        buffer.access(1, now=0.0, dirty=True)
+        buffer.access(2, now=0.0)
+        buffer.access(3, now=0.0, dirty=True)
+        drained = buffer.drain(now=0.0)
+        assert drained == 2
+        assert len(buffer) == 0
+
+    def test_lru_eviction_order(self):
+        buffer = make_buffer(capacity=2)
+        buffer.access(1, now=0.0, dirty=True)
+        buffer.access(2, now=0.0)
+        buffer.access(1, now=0.0)  # refresh 1; LRU is now 2
+        buffer.access(3, now=0.0)  # evicts 2 (clean)
+        assert buffer.stats.writebacks == 0
+        assert 1 in buffer and 3 in buffer and 2 not in buffer
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            make_buffer(capacity=0)

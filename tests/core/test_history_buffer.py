@@ -1,0 +1,167 @@
+"""Unit tests for the circular history buffer."""
+
+import pytest
+
+from repro.core.codec import HISTORY_ENTRIES_PER_BLOCK
+from repro.core.history_buffer import HistoryBuffer
+from repro.memory.address import BLOCK_BYTES, Region
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+def make_history(capacity_entries: int = 48) -> HistoryBuffer:
+    blocks = -(-capacity_entries // HISTORY_ENTRIES_PER_BLOCK)
+    return HistoryBuffer(
+        core=0,
+        capacity_entries=capacity_entries,
+        region=Region(base=0, size=blocks * BLOCK_BYTES),
+        dram=DramChannel(),
+        traffic=TrafficMeter(),
+    )
+
+
+class TestAppendAndSpill:
+    def test_sequences_are_monotonic(self):
+        history = make_history()
+        assert history.append(10, now=0.0) == 0
+        assert history.append(11, now=0.0) == 1
+        assert history.head == 2
+
+    def test_packed_write_every_twelve_appends(self):
+        history = make_history()
+        for i in range(HISTORY_ENTRIES_PER_BLOCK - 1):
+            history.append(i, now=0.0)
+        assert history.stats.packed_writes == 0
+        history.append(99, now=0.0)
+        assert history.stats.packed_writes == 1
+        assert (
+            history.traffic.bytes_for(TrafficCategory.RECORD_STREAMS)
+            == BLOCK_BYTES
+        )
+
+    def test_flush_spills_partial_block(self):
+        history = make_history()
+        history.append(1, now=0.0)
+        history.flush(now=0.0)
+        assert history.stats.packed_writes == 1
+        history.flush(now=0.0)
+        assert history.stats.packed_writes == 1  # nothing pending
+
+
+class TestValidityWindow:
+    def test_wrap_invalidates_oldest(self):
+        history = make_history(capacity_entries=24)
+        for i in range(30):
+            history.append(i, now=0.0)
+        assert history.oldest_valid == 6
+        assert not history.is_valid(5)
+        assert history.is_valid(6)
+        assert history.is_valid(29)
+        assert not history.is_valid(30)
+
+    def test_capacity_rounded_to_blocks(self):
+        history = make_history(capacity_entries=30)
+        assert history.capacity == 24
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryBuffer(
+                core=0,
+                capacity_entries=4,
+                region=Region(base=0, size=BLOCK_BYTES),
+                dram=DramChannel(),
+                traffic=TrafficMeter(),
+            )
+
+    def test_rejects_undersized_region(self):
+        with pytest.raises(ValueError):
+            HistoryBuffer(
+                core=0,
+                capacity_entries=1000,
+                region=Region(base=0, size=BLOCK_BYTES),
+                dram=DramChannel(),
+                traffic=TrafficMeter(),
+            )
+
+
+class TestReads:
+    def test_read_block_returns_entries_from_sequence(self):
+        history = make_history()
+        for i in range(24):
+            history.append(100 + i, now=0.0)
+        entries, _ = history.read_block(3, now=0.0)
+        assert [e.block for e in entries] == [103 + i for i in range(9)]
+        assert entries[0].sequence == 3
+
+    def test_read_spilled_block_charges_lookup_traffic(self):
+        history = make_history()
+        for i in range(12):
+            history.append(i, now=0.0)
+        before = history.traffic.bytes_for(TrafficCategory.LOOKUP_STREAMS)
+        entries, arrival = history.read_block(0, now=0.0)
+        assert len(entries) == 12
+        assert arrival > 0.0
+        assert (
+            history.traffic.bytes_for(TrafficCategory.LOOKUP_STREAMS)
+            == before + BLOCK_BYTES
+        )
+        assert history.stats.block_reads == 1
+
+    def test_read_unspilled_entries_is_on_chip(self):
+        history = make_history()
+        history.append(7, now=0.0)
+        entries, arrival = history.read_block(0, now=5.0)
+        assert [e.block for e in entries] == [7]
+        assert arrival == 5.0
+        assert history.stats.on_chip_reads == 1
+
+    def test_stale_read_returns_nothing(self):
+        history = make_history(capacity_entries=24)
+        for i in range(30):
+            history.append(i, now=0.0)
+        entries, _ = history.read_block(0, now=0.0)
+        assert entries == []
+        assert history.stats.stale_reads == 1
+
+    def test_read_beyond_head_returns_nothing(self):
+        history = make_history()
+        history.append(1, now=0.0)
+        entries, _ = history.read_block(5, now=0.0)
+        assert entries == []
+
+
+class TestAnnotations:
+    def test_annotate_sets_mark(self):
+        history = make_history()
+        for i in range(12):
+            history.append(i, now=0.0)
+        assert history.annotate(4, now=0.0)
+        entries, _ = history.read_block(0, now=0.0)
+        assert entries[4].marked
+        assert not entries[3].marked
+
+    def test_annotate_charges_record_write(self):
+        history = make_history()
+        history.append(1, now=0.0)
+        before = history.traffic.bytes_for(TrafficCategory.RECORD_STREAMS)
+        history.annotate(0, now=0.0)
+        assert (
+            history.traffic.bytes_for(TrafficCategory.RECORD_STREAMS)
+            == before + BLOCK_BYTES
+        )
+
+    def test_annotate_stale_sequence_fails(self):
+        history = make_history(capacity_entries=24)
+        for i in range(30):
+            history.append(i, now=0.0)
+        assert not history.annotate(0, now=0.0)
+
+    def test_new_append_clears_old_mark_on_reused_slot(self):
+        history = make_history(capacity_entries=24)
+        for i in range(12):
+            history.append(i, now=0.0)
+        history.annotate(0, now=0.0)
+        for i in range(24):  # wrap over slot 0
+            history.append(100 + i, now=0.0)
+        entry = history.peek(24)  # reuses slot 0
+        assert entry is not None and not entry.marked

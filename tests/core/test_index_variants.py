@@ -1,0 +1,130 @@
+"""Tests for the alternative index organizations (design space, §5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history_buffer import HistoryPointer
+from repro.core.index_variants import (
+    ChainedIndexTable,
+    OpenAddressIndexTable,
+    compare_organizations,
+)
+
+
+def ptr(sequence: int) -> HistoryPointer:
+    return HistoryPointer(core=0, sequence=sequence)
+
+
+class TestChainedIndexTable:
+    def test_lookup_after_update(self):
+        table = ChainedIndexTable(buckets=8)
+        table.update(42, ptr(1))
+        assert table.lookup(42) == ptr(1)
+
+    def test_never_drops_entries(self):
+        table = ChainedIndexTable(buckets=2)
+        for block in range(200):
+            table.update(block, ptr(block))
+        for block in range(200):
+            assert table.lookup(block) == ptr(block)
+
+    def test_chains_grow_storage(self):
+        table = ChainedIndexTable(buckets=2)
+        baseline = table.storage_bytes
+        for block in range(200):
+            table.update(block, ptr(block))
+        assert table.storage_bytes > baseline
+        assert table.max_chain_blocks() > 4
+
+    def test_long_chains_cost_lookup_accesses(self):
+        table = ChainedIndexTable(buckets=1)
+        for block in range(120):
+            table.update(block, ptr(block))
+        table.stats.lookups = 0
+        table.stats.lookup_block_accesses = 0
+        table.lookup(0)  # oldest entry: deepest chain block
+        assert table.stats.lookup_block_accesses >= 5
+
+    def test_update_replaces_in_place(self):
+        table = ChainedIndexTable(buckets=4)
+        table.update(7, ptr(1))
+        table.update(7, ptr(2))
+        assert table.lookup(7) == ptr(2)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            ChainedIndexTable(buckets=0)
+
+
+class TestOpenAddressIndexTable:
+    def test_lookup_after_update(self):
+        table = OpenAddressIndexTable(groups=8)
+        table.update(42, ptr(1))
+        assert table.lookup(42) == ptr(1)
+
+    def test_bounded_storage(self):
+        table = OpenAddressIndexTable(groups=4)
+        before = table.storage_bytes
+        for block in range(500):
+            table.update(block, ptr(block))
+        assert table.storage_bytes == before
+
+    def test_displacement_when_full(self):
+        table = OpenAddressIndexTable(groups=2, probe_limit=2)
+        for block in range(100):
+            table.update(block, ptr(block))
+        assert table.stats.dropped_entries > 0
+
+    def test_probing_costs_accesses_under_load(self):
+        table = OpenAddressIndexTable(groups=4, probe_limit=4)
+        for block in range(150):
+            table.update(block, ptr(block))
+        table.stats.lookups = 0
+        table.stats.lookup_block_accesses = 0
+        table.lookup(999_999)  # guaranteed miss walks the probe window
+        assert table.stats.lookup_block_accesses >= 2
+
+    def test_update_in_place(self):
+        table = OpenAddressIndexTable(groups=8)
+        table.update(7, ptr(1))
+        table.update(7, ptr(2))
+        assert table.lookup(7) == ptr(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenAddressIndexTable(groups=0)
+        with pytest.raises(ValueError):
+            OpenAddressIndexTable(groups=4, probe_limit=0)
+
+
+class TestComparison:
+    def _events(self, count=800, seed=0):
+        rng = np.random.default_rng(seed)
+        events = []
+        for i in range(count):
+            block = int(rng.integers(0, 400))
+            if rng.random() < 0.5:
+                events.append(("update", block, ptr(i)))
+            else:
+                events.append(("lookup", block, None))
+        return events
+
+    def test_bucketized_is_single_access(self):
+        results = compare_organizations(self._events(), buckets=8)
+        by_name = {r.name: r for r in results}
+        assert by_name["bucketized (STMS)"].accesses_per_lookup == 1.0
+
+    def test_chained_pays_latency_for_coverage(self):
+        """The paper's trade: chains keep every entry (higher hit rate)
+        but pay extra block accesses per lookup."""
+        results = compare_organizations(self._events(), buckets=8)
+        by_name = {r.name: r for r in results}
+        chained = by_name["chained buckets"]
+        bucketized = by_name["bucketized (STMS)"]
+        assert chained.hit_rate >= bucketized.hit_rate
+        assert chained.accesses_per_lookup > 1.0
+        assert chained.storage_bytes > bucketized.storage_bytes
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError):
+            compare_organizations([("probe", 1, None)], buckets=4)

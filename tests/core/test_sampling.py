@@ -1,0 +1,61 @@
+"""Unit tests for probabilistic update sampling."""
+
+import pytest
+
+from repro.core.sampling import ProbabilisticSampler
+
+
+class TestDegenerateProbabilities:
+    def test_always(self):
+        sampler = ProbabilisticSampler(1.0)
+        assert all(sampler.should_update() for _ in range(100))
+        assert sampler.acceptance_rate == 1.0
+
+    def test_never(self):
+        sampler = ProbabilisticSampler(0.0)
+        assert not any(sampler.should_update() for _ in range(100))
+        assert sampler.acceptance_rate == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProbabilisticSampler(-0.1)
+        with pytest.raises(ValueError):
+            ProbabilisticSampler(1.5)
+
+
+class TestStatisticalBehaviour:
+    def test_acceptance_rate_tracks_probability(self):
+        sampler = ProbabilisticSampler(0.125, seed=1)
+        draws = 20_000
+        accepted = sum(sampler.should_update() for _ in range(draws))
+        # 12.5% +- generous 3-sigma band.
+        assert 0.10 < accepted / draws < 0.15
+
+    def test_deterministic_for_seed(self):
+        a = ProbabilisticSampler(0.5, seed=9)
+        b = ProbabilisticSampler(0.5, seed=9)
+        assert [a.should_update() for _ in range(500)] == [
+            b.should_update() for _ in range(500)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ProbabilisticSampler(0.5, seed=1)
+        b = ProbabilisticSampler(0.5, seed=2)
+        assert [a.should_update() for _ in range(200)] != [
+            b.should_update() for _ in range(200)
+        ]
+
+    def test_batch_refill_works_across_boundary(self):
+        sampler = ProbabilisticSampler(0.5, seed=3)
+        draws = [sampler.should_update() for _ in range(10_000)]
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+    def test_flip_counting(self):
+        sampler = ProbabilisticSampler(0.25, seed=4)
+        for _ in range(100):
+            sampler.should_update()
+        assert sampler.flips == 100
+        assert 0 <= sampler.accepted <= 100
+
+    def test_acceptance_rate_empty(self):
+        assert ProbabilisticSampler(0.5).acceptance_rate == 0.0

@@ -1,0 +1,164 @@
+"""Integration-style tests of the STMS prefetcher in isolation.
+
+These drive :class:`StmsPrefetcher` directly (no cache hierarchy): a
+"demand miss" is an ``on_demand_miss`` call plus explicit ``consume``
+probes, which makes the two-round-trip lookup, sampling, and stream
+sharing directly observable.
+"""
+
+import pytest
+
+from repro.core.config import StmsConfig
+from repro.core.stms import StmsPrefetcher
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficCategory, TrafficMeter
+
+
+def make_stms(**overrides) -> StmsPrefetcher:
+    parameters = dict(
+        cores=2,
+        history_entries=1536,
+        index_buckets=256,
+        sampling_probability=1.0,
+        seed=1,
+    )
+    parameters.update(overrides)
+    config = StmsConfig(**parameters)
+    return StmsPrefetcher(config, DramChannel(), TrafficMeter())
+
+
+def replay(stms: StmsPrefetcher, core: int, blocks, start: float = 0.0):
+    """Replay a miss sequence; returns blocks covered by the buffer."""
+    covered = []
+    now = start
+    for block in blocks:
+        entry = stms.consume(core, block, now)
+        if entry is not None:
+            covered.append(block)
+        else:
+            stms.on_demand_miss(core, block, now)
+        now += 400.0
+    return covered
+
+
+class TestRecordingAndLookup:
+    def test_first_pass_learns_second_pass_streams(self):
+        stms = make_stms()
+        sequence = list(range(100, 140))
+        assert replay(stms, 0, sequence) == []
+        covered = replay(stms, 0, sequence, start=1e6)
+        # Everything after the trigger miss should be prefetched.
+        assert len(covered) >= len(sequence) - 3
+
+    def test_lookup_and_stream_cost_two_round_trips(self):
+        stms = make_stms(bucket_buffer_entries=1)
+        sequence = list(range(200, 224))
+        replay(stms, 0, sequence)
+        meter = stms.traffic
+        # Evict the trigger's bucket from the (1-entry) bucket buffer so
+        # the lookup must actually go to memory.
+        stms.on_demand_miss(0, 999_999, now=5e5)
+        lookup_bytes = meter.bytes_for(TrafficCategory.LOOKUP_STREAMS)
+        stms.on_demand_miss(0, 200, now=1e6)
+        # One bucket read + one history block read.
+        assert (
+            meter.bytes_for(TrafficCategory.LOOKUP_STREAMS) - lookup_bytes
+            == 2 * 64
+        )
+
+    def test_history_records_misses(self):
+        stms = make_stms()
+        replay(stms, 0, [1, 2, 3])
+        assert stms.histories[0].head == 3
+
+    def test_prefetched_hits_are_recorded_too(self):
+        stms = make_stms()
+        sequence = list(range(300, 330))
+        replay(stms, 0, sequence)
+        head_before = stms.histories[0].head
+        replay(stms, 0, sequence, start=1e6)
+        assert stms.histories[0].head == head_before + len(sequence)
+
+
+class TestCrossCoreSharing:
+    def test_stream_recorded_by_one_core_serves_another(self):
+        stms = make_stms()
+        sequence = list(range(400, 430))
+        replay(stms, 0, sequence)
+        covered = replay(stms, 1, sequence, start=1e6)
+        assert len(covered) >= len(sequence) - 3
+
+
+class TestProbabilisticUpdate:
+    def test_zero_sampling_never_finds_streams(self):
+        stms = make_stms(sampling_probability=0.0)
+        sequence = list(range(500, 520))
+        replay(stms, 0, sequence)
+        covered = replay(stms, 0, sequence, start=1e6)
+        assert covered == []
+        assert stms.counters.applied_updates == 0
+
+    def test_sampling_reduces_update_traffic(self):
+        full = make_stms(sampling_probability=1.0)
+        sampled = make_stms(sampling_probability=0.125)
+        sequence = list(range(600, 840))
+        replay(full, 0, sequence)
+        replay(sampled, 0, sequence)
+        full.bucket_buffer.drain(0.0)
+        sampled.bucket_buffer.drain(0.0)
+        full_bytes = full.traffic.bytes_for(TrafficCategory.UPDATE_INDEX)
+        sampled_bytes = sampled.traffic.bytes_for(
+            TrafficCategory.UPDATE_INDEX
+        )
+        assert sampled_bytes < full_bytes / 3
+
+    def test_candidates_counted_for_every_record(self):
+        stms = make_stms(sampling_probability=0.125)
+        replay(stms, 0, list(range(700, 750)))
+        assert stms.counters.candidate_updates == 50
+
+
+class TestStalePointers:
+    def test_overwritten_history_is_detected(self):
+        stms = make_stms(history_entries=48, sampling_probability=1.0)
+        old = list(range(800, 812))
+        replay(stms, 0, old)
+        # Overwrite the whole history buffer with fresh misses.
+        replay(stms, 0, list(range(900, 960)), start=1e5)
+        stms.on_demand_miss(0, 800, now=2e6)
+        assert stms.counters.stale_pointers >= 1
+
+
+class TestStreamEndAnnotation:
+    def test_divergence_annotates_source_history(self):
+        stms = make_stms()
+        stream_a = list(range(1000, 1012))
+        separator = list(range(3000, 3024))  # keeps B outside A's lookahead
+        stream_b = list(range(2000, 2012))
+        replay(stms, 0, stream_a + separator + stream_b)
+        # Follow A, then jump to B: the A-stream is abandoned mid-flight
+        # once B's trigger hits the index.
+        replay(stms, 0, stream_a[:6] + stream_b, start=1e6)
+        assert stms.counters.annotations >= 1
+
+    def test_resume_requires_marked_address(self):
+        stms = make_stms()
+        counters_before = stms.counters.resumes
+        stms.on_demand_miss(0, 4242, now=0.0)
+        assert stms.counters.resumes == counters_before
+
+
+class TestFinalize:
+    def test_finalize_flushes_and_drains(self):
+        stms = make_stms()
+        replay(stms, 0, list(range(1100, 1120)))
+        stms.finalize(now=1e7)
+        record = stms.traffic.bytes_for(TrafficCategory.RECORD_STREAMS)
+        assert record >= 64  # at least one packed write happened
+        assert len(stms.bucket_buffer) == 0
+
+    def test_metadata_regions_reserved(self):
+        stms = make_stms()
+        regions = stms.address_space.regions
+        # One index region + one history region per core.
+        assert len(regions) == 1 + stms.config.cores

@@ -1,0 +1,151 @@
+"""Unit tests for the per-core stream engine."""
+
+import pytest
+
+from repro.core.history_buffer import HistoryEntry
+from repro.core.stream_engine import StreamEngine
+
+
+def entries(*blocks: int, start: int = 0, marked: "set[int] | None" = None):
+    marked = marked or set()
+    return [
+        HistoryEntry(sequence=start + i, block=block, marked=block in marked)
+        for i, block in enumerate(blocks)
+    ]
+
+
+def make_engine(capacity: int = 8, threshold: int = 2) -> StreamEngine:
+    return StreamEngine(core=0, queue_capacity=capacity,
+                        refill_threshold=threshold)
+
+
+class TestLifecycle:
+    def test_begin_activates_and_bumps_serial(self):
+        engine = make_engine()
+        engine.begin(source_core=1, next_fetch_sequence=10)
+        assert engine.active
+        assert engine.source_core == 1
+        assert engine.serial == 1
+        engine.begin(source_core=0, next_fetch_sequence=0)
+        assert engine.serial == 2
+
+    def test_reset_clears_but_keeps_serial(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, 3), ready_at=0.0)
+        engine.reset()
+        assert not engine.active
+        assert engine.queue_depth == 0
+        assert engine.serial == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamEngine(core=0, queue_capacity=0, refill_threshold=0)
+        with pytest.raises(ValueError):
+            StreamEngine(core=0, queue_capacity=4, refill_threshold=9)
+
+
+class TestQueueing:
+    def test_enqueue_respects_capacity(self):
+        engine = make_engine(capacity=3)
+        engine.begin(0, 0)
+        accepted = engine.enqueue_entries(entries(1, 2, 3, 4, 5), 0.0)
+        assert accepted == 3
+        assert engine.queue_depth == 3
+
+    def test_enqueue_ignored_when_inactive(self):
+        engine = make_engine()
+        assert engine.enqueue_entries(entries(1, 2), 0.0) == 0
+
+    def test_pop_in_fifo_order(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(5, 6, 7), 0.0)
+        assert [engine.pop_for_prefetch().block for _ in range(3)] == [5, 6, 7]
+        assert engine.pop_for_prefetch() is None
+
+    def test_next_fetch_tracks_last_enqueued(self):
+        engine = make_engine()
+        engine.begin(0, next_fetch_sequence=10)
+        engine.enqueue_entries(entries(1, 2, start=10), 0.0)
+        assert engine.next_fetch_sequence == 12
+
+    def test_needs_refill_threshold(self):
+        engine = make_engine(capacity=8, threshold=2)
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, 3), 0.0)
+        assert not engine.needs_refill()
+        engine.pop_for_prefetch()
+        assert engine.needs_refill()
+
+
+class TestPauseResume:
+    def test_marked_entry_stops_enqueue(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        accepted = engine.enqueue_entries(
+            entries(1, 2, 3, 4, marked={3}), 0.0
+        )
+        assert accepted == 3  # 4 is beyond the mark
+        assert engine.paused_at is not None
+        assert engine.paused_at.block == 3
+
+    def test_pop_stops_after_marked_entry(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, marked={2}), 0.0)
+        assert engine.pop_for_prefetch().block == 1
+        assert engine.pop_for_prefetch().block == 2
+        # Entries beyond the mark must not issue while paused.
+        engine.enqueue_entries(entries(9, start=5), 0.0)
+        assert engine.pop_for_prefetch() is None
+        assert engine.needs_refill() is False
+
+    def test_confirm_resume_on_paused_block(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, marked={2}), 0.0)
+        engine.pop_for_prefetch()
+        engine.pop_for_prefetch()
+        assert not engine.confirm_resume(1)
+        assert engine.confirm_resume(2)
+        assert engine.paused_at is None
+
+    def test_consuming_marked_block_resumes(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, marked={2}), 0.0)
+        engine.pop_for_prefetch()
+        engine.pop_for_prefetch()
+        engine.on_consumed(2)
+        assert engine.paused_at is None
+
+
+class TestConsumptionTracking:
+    def test_on_consumed_tracks_latest(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, 3), 0.0)
+        for _ in range(3):
+            engine.pop_for_prefetch()
+        engine.on_consumed(1)
+        engine.on_consumed(2)
+        assert engine.consumed_count == 2
+        assert engine.last_consumed.block == 2
+
+    def test_on_consumed_unknown_block(self):
+        engine = make_engine()
+        assert engine.on_consumed(42) is None
+
+    def test_annotation_target_after_consumption(self):
+        engine = make_engine()
+        engine.begin(source_core=3, next_fetch_sequence=10)
+        engine.enqueue_entries(entries(1, 2, start=10), 0.0)
+        engine.pop_for_prefetch()
+        engine.on_consumed(1)
+        assert engine.annotation_target() == (3, 11)
+
+    def test_annotation_target_without_progress(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        assert engine.annotation_target() is None

@@ -1,0 +1,75 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+
+
+class TestMshrFile:
+    def test_allocate_and_outstanding(self):
+        mshrs = MshrFile(4)
+        entry = mshrs.allocate(10, complete_at=100.0)
+        assert mshrs.outstanding(10) is entry
+        assert len(mshrs) == 1
+
+    def test_duplicate_allocation_rejected(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10, complete_at=100.0)
+        with pytest.raises(ValueError):
+            mshrs.allocate(10, complete_at=200.0)
+
+    def test_merge_increments_waiters(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10, complete_at=100.0)
+        entry = mshrs.merge(10)
+        assert entry.waiters == 2
+        assert mshrs.stats.merges == 1
+
+    def test_merge_missing_raises(self):
+        mshrs = MshrFile(4)
+        with pytest.raises(KeyError):
+            mshrs.merge(99)
+
+    def test_full_blocks_allocation(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(1, complete_at=50.0)
+        mshrs.allocate(2, complete_at=60.0)
+        assert mshrs.full
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(3, complete_at=70.0)
+        assert mshrs.stats.stalls == 1
+
+    def test_retire_complete(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(1, complete_at=50.0)
+        mshrs.allocate(2, complete_at=150.0)
+        done = mshrs.retire_complete(100.0)
+        assert [e.block for e in done] == [1]
+        assert len(mshrs) == 1
+
+    def test_earliest_completion(self):
+        mshrs = MshrFile(4)
+        assert mshrs.earliest_completion() is None
+        mshrs.allocate(1, complete_at=80.0)
+        mshrs.allocate(2, complete_at=30.0)
+        assert mshrs.earliest_completion() == 30.0
+
+    def test_release_and_clear(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(1, complete_at=10.0)
+        mshrs.release(1)
+        assert mshrs.outstanding(1) is None
+        mshrs.allocate(2, complete_at=10.0)
+        mshrs.clear()
+        assert len(mshrs) == 0
+
+    def test_peak_occupancy_tracked(self):
+        mshrs = MshrFile(4)
+        for block in range(3):
+            mshrs.allocate(block, complete_at=10.0)
+        mshrs.retire_complete(20.0)
+        assert mshrs.stats.peak_occupancy == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)

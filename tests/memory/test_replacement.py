@@ -1,0 +1,90 @@
+"""Unit tests for replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.memory.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLruPolicy:
+    def test_untouched_victim_is_last_way(self):
+        policy = LruPolicy(4)
+        assert policy.victim() == 3
+
+    def test_touch_moves_to_front(self):
+        policy = LruPolicy(3)
+        policy.touch(2)
+        assert policy.victim() == 1
+
+    def test_fill_counts_as_use(self):
+        policy = LruPolicy(2)
+        policy.fill(1)
+        assert policy.victim() == 0
+
+    def test_sequence_matches_reference(self):
+        policy = LruPolicy(3)
+        for way in (0, 1, 2, 0, 1):
+            policy.touch(way)
+        # Way 2 is now least recent.
+        assert policy.victim() == 2
+
+    def test_recency_order(self):
+        policy = LruPolicy(3)
+        policy.touch(1)
+        policy.touch(0)
+        assert policy.recency_order() == (0, 1, 2)
+
+    def test_rejects_out_of_range(self):
+        policy = LruPolicy(2)
+        with pytest.raises(IndexError):
+            policy.touch(2)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+
+class TestFifoPolicy:
+    def test_victim_is_oldest_fill(self):
+        policy = FifoPolicy(3)
+        policy.fill(1)
+        policy.fill(2)
+        policy.fill(0)
+        assert policy.victim() == 1
+
+    def test_touch_does_not_change_order(self):
+        policy = FifoPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        policy.touch(0)
+        assert policy.victim() == 0
+
+
+class TestRandomPolicy:
+    def test_victims_in_range(self):
+        policy = RandomPolicy(4, rng=np.random.default_rng(1))
+        for _ in range(50):
+            assert 0 <= policy.victim() < 4
+
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, rng=np.random.default_rng(3))
+        b = RandomPolicy(8, rng=np.random.default_rng(3))
+        assert [a.victim() for _ in range(10)] == [
+            b.victim() for _ in range(10)
+        ]
+
+
+class TestFactory:
+    def test_makes_each_kind(self):
+        assert isinstance(make_policy("lru", 2), LruPolicy)
+        assert isinstance(make_policy("fifo", 2), FifoPolicy)
+        assert isinstance(make_policy("random", 2), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 2)

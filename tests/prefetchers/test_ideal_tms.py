@@ -1,0 +1,106 @@
+"""Unit tests for the idealized TMS prefetcher."""
+
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficMeter
+from repro.prefetchers.ideal_tms import IdealTmsPrefetcher, _MagicIndex
+
+
+def make_ideal(**overrides) -> IdealTmsPrefetcher:
+    parameters = dict(
+        cores=2,
+        dram=DramChannel(),
+        traffic=TrafficMeter(),
+        lookahead=8,
+    )
+    parameters.update(overrides)
+    return IdealTmsPrefetcher(**parameters)
+
+
+def replay(prefetcher, core, blocks, start=0.0):
+    covered = []
+    now = start
+    for block in blocks:
+        if prefetcher.consume(core, block, now) is not None:
+            covered.append(block)
+        else:
+            prefetcher.on_demand_miss(core, block, now)
+        now += 300.0
+    return covered
+
+
+class TestMagicIndex:
+    def test_lookup_returns_latest(self):
+        index = _MagicIndex()
+        index.update(5, core=0, position=3)
+        index.update(5, core=1, position=9)
+        assert index.lookup(5) == (1, 9)
+
+    def test_entry_cap_evicts_lru(self):
+        index = _MagicIndex(max_entries=2)
+        index.update(1, 0, 0)
+        index.update(2, 0, 1)
+        index.lookup(1)  # refresh 1
+        index.update(3, 0, 2)  # evicts 2
+        assert index.lookup(2) is None
+        assert index.lookup(1) is not None
+
+    def test_uncapped_never_evicts(self):
+        index = _MagicIndex()
+        for block in range(1000):
+            index.update(block, 0, block)
+        assert len(index) == 1000
+
+
+class TestStreaming:
+    def test_second_occurrence_is_covered(self):
+        prefetcher = make_ideal()
+        sequence = list(range(100, 130))
+        assert replay(prefetcher, 0, sequence) == []
+        covered = replay(prefetcher, 0, sequence, start=1e6)
+        assert len(covered) >= len(sequence) - 2
+
+    def test_cross_core_stream_sharing(self):
+        prefetcher = make_ideal()
+        sequence = list(range(200, 230))
+        replay(prefetcher, 0, sequence)
+        covered = replay(prefetcher, 1, sequence, start=1e6)
+        assert len(covered) >= len(sequence) - 2
+
+    def test_unrelated_miss_keeps_stream(self):
+        prefetcher = make_ideal()
+        sequence = list(range(300, 320))
+        replay(prefetcher, 0, sequence)
+        # Interleave never-seen noise misses into the second pass.
+        mixed = []
+        for i, block in enumerate(sequence):
+            mixed.append(block)
+            if i % 5 == 2:
+                mixed.append(90_000 + i)
+        covered = replay(prefetcher, 0, mixed, start=1e6)
+        assert len(covered) >= len(sequence) - 3
+
+    def test_histories_record_hits_and_misses(self):
+        prefetcher = make_ideal()
+        sequence = list(range(400, 420))
+        replay(prefetcher, 0, sequence)
+        replay(prefetcher, 0, sequence, start=1e6)
+        assert len(prefetcher.histories[0]) == 2 * len(sequence)
+
+    def test_entry_cap_degrades_coverage(self):
+        big = make_ideal()
+        small = make_ideal(max_index_entries=8)
+        sequence = list(range(500, 600))
+        replay(big, 0, sequence)
+        replay(small, 0, sequence)
+        covered_big = replay(big, 0, sequence, start=1e6)
+        covered_small = replay(small, 0, sequence, start=2e6)
+        assert len(covered_small) < len(covered_big)
+
+    def test_stream_stops_at_recording_head(self):
+        prefetcher = make_ideal()
+        sequence = list(range(700, 712))
+        replay(prefetcher, 0, sequence)
+        prefetcher.on_demand_miss(0, sequence[-1], now=1e6)
+        # The previous occurrence of the last block has no successors:
+        # the stream engine must deactivate, not spin.
+        assert prefetcher._streams[0] is None

@@ -1,0 +1,65 @@
+"""Unit tests for the Markov (pair-wise) prefetcher."""
+
+from repro.memory.dram import DramChannel
+from repro.memory.traffic import TrafficMeter
+from repro.prefetchers.markov import MarkovPrefetcher
+
+
+def make_markov(**overrides) -> MarkovPrefetcher:
+    parameters = dict(cores=1, dram=DramChannel(), traffic=TrafficMeter())
+    parameters.update(overrides)
+    return MarkovPrefetcher(**parameters)
+
+
+def replay(prefetcher, blocks, start=0.0, core=0):
+    covered = []
+    now = start
+    for block in blocks:
+        if prefetcher.consume(core, block, now) is not None:
+            covered.append(block)
+        else:
+            prefetcher.on_demand_miss(core, block, now)
+        now += 300.0
+    return covered
+
+
+class TestPairwiseCorrelation:
+    def test_learns_successor_pairs(self):
+        prefetcher = make_markov()
+        sequence = [1, 2, 3, 4, 5]
+        replay(prefetcher, sequence)
+        covered = replay(prefetcher, sequence, start=1e6)
+        assert covered == [2, 3, 4, 5]
+
+    def test_remembers_multiple_successors(self):
+        prefetcher = make_markov(successors_per_entry=2)
+        replay(prefetcher, [1, 2, 9, 9, 9])
+        replay(prefetcher, [1, 3, 9, 9, 9], start=1e6)
+        prefetcher.on_demand_miss(0, 1, now=2e6)
+        buffered = prefetcher.buffers[0]
+        assert 2 in buffered and 3 in buffered
+
+    def test_successor_list_bounded(self):
+        prefetcher = make_markov(successors_per_entry=2)
+        for i in range(5):
+            replay(prefetcher, [1, 100 + i], start=i * 1e6)
+        successors = prefetcher._table[1]
+        assert len(successors) == 2
+
+    def test_table_capacity_lru(self):
+        prefetcher = make_markov(max_entries=4)
+        replay(prefetcher, list(range(100, 120)))
+        assert len(prefetcher._table) <= 4
+
+    def test_prefetch_chains_extend_through_hits(self):
+        prefetcher = make_markov()
+        sequence = [10, 11, 12, 13]
+        replay(prefetcher, sequence)
+        covered = replay(prefetcher, sequence, start=1e6)
+        # Pair-wise chains keep re-predicting one step ahead.
+        assert covered == [11, 12, 13]
+
+    def test_repeated_same_block_not_learned(self):
+        prefetcher = make_markov()
+        replay(prefetcher, [5, 5, 5])
+        assert 5 not in prefetcher._table

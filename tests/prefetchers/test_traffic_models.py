@@ -1,0 +1,82 @@
+"""Unit tests for the prior-design traffic models (Fig. 1 right)."""
+
+import pytest
+
+from repro.prefetchers.traffic_models import (
+    DESIGN_PARAMETERS,
+    DesignParameters,
+    PriorDesign,
+    model_design,
+    prior_design_overheads,
+)
+
+
+class TestModelDesign:
+    def test_ulmt_update_follows_every_lookup(self):
+        bar = model_design(PriorDesign.ULMT, mlp=1.0)
+        p = DESIGN_PARAMETERS[PriorDesign.ULMT]
+        remaining = 1.0 - p.coverage
+        assert bar.metadata_lookup == pytest.approx(
+            remaining * p.lookup_accesses
+        )
+        assert bar.metadata_update == pytest.approx(
+            remaining * p.update_accesses
+        )
+
+    def test_ebcp_lookups_scale_with_mlp(self):
+        low = model_design(PriorDesign.EBCP, mlp=1.0)
+        high = model_design(PriorDesign.EBCP, mlp=2.0)
+        assert high.metadata_lookup == pytest.approx(
+            low.metadata_lookup / 2.0
+        )
+
+    def test_tse_updates_on_hits_too(self):
+        bar = model_design(PriorDesign.TSE, mlp=1.5)
+        p = DESIGN_PARAMETERS[PriorDesign.TSE]
+        assert bar.metadata_update == pytest.approx(p.update_accesses)
+
+    def test_erroneous_from_accuracy(self):
+        parameters = DesignParameters(
+            lookup_accesses=1.0,
+            lookup_per_epoch=False,
+            update_accesses=1.0,
+            update_on_hits=False,
+            coverage=0.5,
+            accuracy=0.5,
+        )
+        bar = model_design(PriorDesign.ULMT, mlp=1.0, parameters=parameters)
+        # accuracy 50% -> one erroneous per useful -> 0.5 per read.
+        assert bar.erroneous_prefetches == pytest.approx(0.5)
+
+    def test_rejects_mlp_below_one(self):
+        with pytest.raises(ValueError):
+            model_design(PriorDesign.ULMT, mlp=0.5)
+
+    def test_total_is_sum(self):
+        bar = model_design(PriorDesign.TSE, mlp=1.3)
+        assert bar.total == pytest.approx(
+            bar.erroneous_prefetches
+            + bar.metadata_lookup
+            + bar.metadata_update
+        )
+
+
+class TestSuiteAveraging:
+    def test_averages_across_workloads(self):
+        overheads = prior_design_overheads({"a": 1.0, "b": 2.0})
+        single_a = model_design(PriorDesign.EBCP, 1.0)
+        single_b = model_design(PriorDesign.EBCP, 2.0)
+        expected = (single_a.metadata_lookup + single_b.metadata_lookup) / 2
+        assert overheads[PriorDesign.EBCP].metadata_lookup == pytest.approx(
+            expected
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            prior_design_overheads({})
+
+    def test_paper_scale_overheads(self):
+        """The headline: roughly 3x the baseline read traffic."""
+        overheads = prior_design_overheads({"oltp": 1.3, "web": 1.5})
+        average = sum(bar.total for bar in overheads.values()) / 3
+        assert 1.5 <= average <= 4.0

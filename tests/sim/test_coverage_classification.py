@@ -1,0 +1,83 @@
+"""Tests for full/partial coverage classification in the engine.
+
+The paper's Figure 9 splits covered misses into *fully covered* (the
+prefetched block arrived before the demand) and *partially covered*
+(the prefetch was still in flight).  These tests construct traces whose
+timing forces each outcome.
+"""
+
+import numpy as np
+
+from repro.memory.hierarchy import CmpConfig
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.runner import PrefetcherKind, make_factory
+
+from tests.conftest import make_trace, repeating_sequence
+
+
+def tiny_config() -> SimConfig:
+    return SimConfig(
+        cmp=CmpConfig(
+            cores=1,
+            l1_size_bytes=512,
+            l1_ways=2,
+            l2_size_bytes=4096,
+            l2_ways=4,
+            l2_banks=2,
+            l2_mshrs=16,
+        )
+    )
+
+
+class TestFullVersusPartial:
+    def test_slow_consumption_is_fully_covered(self):
+        """With ample compute between misses, prefetches arrive early."""
+        blocks = repeating_sequence(400, 4, seed=1)
+        trace = make_trace([blocks], work=600.0, warmup_fraction=0.3)
+        result = Simulator(tiny_config()).run(
+            trace, make_factory(PrefetcherKind.IDEAL_TMS), "ideal"
+        )
+        counts = result.coverage
+        assert counts.coverage > 0.9
+        assert counts.fully_covered > 10 * max(1, counts.partially_covered)
+
+    def test_fast_consumption_sees_partial_coverage(self):
+        """Back-to-back dependent misses outrun the memory latency, so
+        some prefetches are still in flight when demanded."""
+        blocks = repeating_sequence(400, 4, seed=2)
+        trace = make_trace([blocks], work=1.0, warmup_fraction=0.3)
+        result = Simulator(tiny_config()).run(
+            trace, make_factory(PrefetcherKind.IDEAL_TMS), "ideal"
+        )
+        counts = result.coverage
+        assert counts.coverage > 0.5
+        assert counts.partially_covered > 0
+
+    def test_partial_still_faster_than_uncovered(self):
+        """Partially covered misses hide part of the latency, so the
+        prefetched run must beat the baseline even when most coverage
+        is partial."""
+        blocks = repeating_sequence(400, 4, seed=3)
+        trace = make_trace([blocks], work=1.0, warmup_fraction=0.3)
+        simulator = Simulator(tiny_config())
+        baseline = simulator.run(trace, None, "baseline")
+        ideal = Simulator(tiny_config()).run(
+            trace, make_factory(PrefetcherKind.IDEAL_TMS), "ideal"
+        )
+        assert ideal.speedup_over(baseline) > 1.05
+
+    def test_counts_partition_covered_misses(self):
+        blocks = repeating_sequence(300, 3, seed=4)
+        trace = make_trace([blocks], work=50.0, warmup_fraction=0.34)
+        result = Simulator(tiny_config()).run(
+            trace, make_factory(PrefetcherKind.IDEAL_TMS), "ideal"
+        )
+        counts = result.coverage
+        assert counts.fully_covered >= 0
+        assert counts.partially_covered >= 0
+        assert (
+            counts.fully_covered
+            + counts.partially_covered
+            + counts.uncovered
+            == counts.temporal_eligible
+        )

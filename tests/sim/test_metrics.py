@@ -1,0 +1,107 @@
+"""Unit tests for coverage counts, MLP tracking, and results."""
+
+import pytest
+
+from repro.sim.metrics import (
+    CoverageCounts,
+    MlpTracker,
+    SimResult,
+    _IntervalAccumulator,
+)
+
+
+class TestCoverageCounts:
+    def test_coverage_definition(self):
+        counts = CoverageCounts(
+            fully_covered=30, partially_covered=10, uncovered=60,
+            stride_covered=100,
+        )
+        assert counts.temporal_eligible == 100
+        assert counts.coverage == pytest.approx(0.4)
+        assert counts.full_coverage == pytest.approx(0.3)
+        assert counts.partial_coverage == pytest.approx(0.1)
+
+    def test_stride_excluded_from_denominator(self):
+        counts = CoverageCounts(fully_covered=5, uncovered=5,
+                                stride_covered=1000)
+        assert counts.coverage == pytest.approx(0.5)
+
+    def test_empty(self):
+        counts = CoverageCounts()
+        assert counts.coverage == 0.0
+        assert counts.full_coverage == 0.0
+
+
+class TestIntervalAccumulator:
+    def test_disjoint_intervals_mlp_one(self):
+        acc = _IntervalAccumulator()
+        acc.add(0, 10)
+        acc.add(20, 30)
+        acc.finish()
+        assert acc.mlp == pytest.approx(1.0)
+
+    def test_full_overlap_mlp_two(self):
+        acc = _IntervalAccumulator()
+        acc.add(0, 10)
+        acc.add(0, 10)
+        acc.finish()
+        assert acc.mlp == pytest.approx(2.0)
+
+    def test_partial_overlap(self):
+        acc = _IntervalAccumulator()
+        acc.add(0, 10)
+        acc.add(5, 15)
+        acc.finish()
+        assert acc.mlp == pytest.approx(20 / 15)
+
+    def test_rejects_inverted_interval(self):
+        acc = _IntervalAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(5, 1)
+
+    def test_empty(self):
+        acc = _IntervalAccumulator()
+        acc.finish()
+        assert acc.mlp == 0.0
+
+
+class TestMlpTracker:
+    def test_weighted_average_across_cores(self):
+        tracker = MlpTracker(cores=2)
+        # Core 0: MLP 1.0 from one interval.
+        tracker.add(0, 0, 10)
+        # Core 1: MLP 2.0 from two fully-overlapped intervals.
+        tracker.add(1, 0, 10)
+        tracker.add(1, 0, 10)
+        # Weighted by interval count: (1*1 + 2*2) / 3.
+        assert tracker.result() == pytest.approx(5 / 3)
+
+    def test_no_intervals(self):
+        assert MlpTracker(cores=2).result() == 0.0
+
+
+class TestSimResult:
+    def _result(self, cycles: float, records: int = 100) -> SimResult:
+        return SimResult(
+            workload="w", prefetcher="p",
+            measured_records=records, elapsed_cycles=cycles,
+        )
+
+    def test_throughput(self):
+        result = self._result(cycles=200.0)
+        assert result.throughput == pytest.approx(0.5)
+
+    def test_speedup(self):
+        baseline = self._result(cycles=200.0)
+        faster = self._result(cycles=100.0)
+        assert faster.speedup_over(baseline) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_records(self):
+        baseline = self._result(cycles=200.0, records=100)
+        other = self._result(cycles=100.0, records=50)
+        with pytest.raises(ValueError):
+            other.speedup_over(baseline)
+
+    def test_degenerate_cycles(self):
+        result = self._result(cycles=0.0)
+        assert result.throughput == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the high-level runners and factories."""
+
+import pytest
+
+from repro.core.config import StmsConfig
+from repro.sim.runner import (
+    PrefetcherKind,
+    compare_prefetchers,
+    make_factory,
+    make_sim_config,
+    make_stms_config,
+    run_workload,
+)
+from repro.workloads.suite import SCALES
+
+
+class TestConfigBuilders:
+    def test_sim_config_scales_caches(self):
+        config = make_sim_config("test")
+        assert config.cmp.l2_size_bytes == int(
+            8 * 1024 * 1024 * SCALES["test"].cache_scale
+        )
+
+    def test_stms_config_uses_preset_capacities(self):
+        config = make_stms_config("test", cores=4)
+        assert config.history_entries == SCALES["test"].history_entries
+        assert config.index_buckets == SCALES["test"].index_buckets
+
+    def test_stms_config_overrides(self):
+        config = make_stms_config(
+            "test", cores=2, sampling_probability=0.5, lookahead=6
+        )
+        assert config.sampling_probability == 0.5
+        assert config.lookahead == 6
+        assert config.cores == 2
+
+
+class TestFactories:
+    def test_baseline_factory_is_none(self):
+        assert make_factory(PrefetcherKind.BASELINE) is None
+
+    def test_each_kind_constructs(self, dram, traffic):
+        for kind in (
+            PrefetcherKind.IDEAL_TMS,
+            PrefetcherKind.STMS,
+            PrefetcherKind.FIXED_DEPTH,
+            PrefetcherKind.MARKOV,
+        ):
+            factory = make_factory(
+                kind, stms_config=StmsConfig(cores=2, index_buckets=64,
+                                             history_entries=256)
+            )
+            assert factory is not None
+            prefetcher = factory(2, dram, traffic, lambda block: False)
+            assert prefetcher.cores == 2
+
+    def test_stms_factory_adapts_core_count(self, dram, traffic):
+        factory = make_factory(
+            PrefetcherKind.STMS,
+            stms_config=StmsConfig(cores=4, index_buckets=64,
+                                   history_entries=256),
+        )
+        prefetcher = factory(2, dram, traffic, lambda block: False)
+        assert prefetcher.config.cores == 2
+
+
+class TestRunners:
+    def test_run_workload_end_to_end(self):
+        result = run_workload(
+            "web-apache",
+            PrefetcherKind.BASELINE,
+            scale="test",
+            cores=2,
+            seed=1,
+        )
+        assert result.measured_records > 0
+        assert result.prefetcher == "baseline"
+
+    def test_compare_prefetchers_shares_trace(self):
+        results = compare_prefetchers(
+            "web-apache",
+            kinds=[PrefetcherKind.BASELINE, PrefetcherKind.STMS],
+            scale="test",
+            cores=2,
+            seed=1,
+        )
+        baseline = results[PrefetcherKind.BASELINE]
+        stms = results[PrefetcherKind.STMS]
+        assert baseline.measured_records == stms.measured_records
+        assert stms.speedup_over(baseline) > 0

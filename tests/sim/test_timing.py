@@ -1,0 +1,41 @@
+"""Unit tests for the timing model."""
+
+import pytest
+
+from repro.sim.timing import TimingModel
+
+
+class TestTimingModel:
+    def test_defaults_match_paper_table1(self):
+        timing = TimingModel()
+        assert timing.l2_hit_dep == 20.0
+        assert timing.core_miss_window == 8
+
+    def test_dependence_selectors(self):
+        timing = TimingModel()
+        assert timing.l2_hit(True) == timing.l2_hit_dep
+        assert timing.l2_hit(False) == timing.l2_hit_indep
+        assert timing.prefetch_hit(True) == timing.prefetch_hit_dep
+        assert timing.prefetch_hit(False) == timing.prefetch_hit_indep
+        assert timing.stride_hit(True) == timing.stride_hit_dep
+        assert timing.stride_hit(False) == timing.stride_hit_indep
+
+    def test_independent_costs_below_dependent(self):
+        timing = TimingModel()
+        assert timing.l2_hit_indep < timing.l2_hit_dep
+        assert timing.prefetch_hit_indep < timing.prefetch_hit_dep
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            TimingModel(l2_hit_dep=-1.0)
+        with pytest.raises(ValueError):
+            TimingModel(miss_issue_overhead=-0.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TimingModel(core_miss_window=0)
+
+    def test_custom_model(self):
+        timing = TimingModel(l2_hit_dep=30.0, core_miss_window=16)
+        assert timing.l2_hit(True) == 30.0
+        assert timing.core_miss_window == 16

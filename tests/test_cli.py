@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "not-a-workload"]
+            )
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "oltp-db2" in out
+        assert "sci-em3d" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_run_baseline(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "oltp-db2", "--prefetcher",
+                "baseline", "--scale", "test", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "coverage" in out
+
+    def test_run_stms_with_sampling(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "web-apache", "--prefetcher", "stms",
+                "--sampling", "0.5", "--scale", "test", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        assert "stms" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--workload", "sci-ocean", "--scale", "test",
+             "--cores", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ideal-tms" in out and "stms" in out
+
+    def test_experiment_to_file(self, tmp_path, capsys):
+        target = str(tmp_path / "table2.txt")
+        code = main(
+            ["experiment", "table2", "--scale", "test", "--output", target]
+        )
+        assert code == 0
+        content = open(target).read()
+        assert "Table 2" in content
+        assert "PASS" in content

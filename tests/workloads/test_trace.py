@@ -1,0 +1,107 @@
+"""Unit tests for the trace container and builder."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace, TraceBuilder
+
+
+def simple_trace(records: int = 10, cores: int = 2) -> Trace:
+    return Trace(
+        name="t",
+        blocks=[np.arange(records, dtype=np.int64) for _ in range(cores)],
+        work=[np.ones(records, dtype=np.float32) for _ in range(cores)],
+        dep=[np.zeros(records, dtype=bool) for _ in range(cores)],
+        write=[np.zeros(records, dtype=bool) for _ in range(cores)],
+        working_set_blocks=records,
+        warmup_fraction=0.2,
+    )
+
+
+class TestTrace:
+    def test_shape_properties(self):
+        trace = simple_trace(records=10, cores=3)
+        assert trace.cores == 3
+        assert trace.records == 30
+        assert trace.core_records(1) == 10
+
+    def test_warmup_records(self):
+        trace = simple_trace(records=10)
+        assert trace.warmup_records(0) == 2
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                blocks=[np.arange(5)],
+                work=[np.ones(4, dtype=np.float32)],
+                dep=[np.zeros(5, dtype=bool)],
+                write=[np.zeros(5, dtype=bool)],
+            )
+
+    def test_mismatched_core_lists_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                blocks=[np.arange(5)],
+                work=[],
+                dep=[np.zeros(5, dtype=bool)],
+                write=[np.zeros(5, dtype=bool)],
+            )
+
+    def test_stats(self):
+        trace = simple_trace(records=4)
+        stats = trace.stats()
+        assert stats.records == 8
+        assert stats.distinct_blocks == 4
+        assert stats.dependent_fraction == 0.0
+        assert stats.mean_work == pytest.approx(1.0)
+
+    def test_stats_empty(self):
+        trace = simple_trace(records=10)
+        empty = trace.sliced(1)
+        assert empty.records == 2
+
+    def test_sliced(self):
+        trace = simple_trace(records=10)
+        shorter = trace.sliced(3)
+        assert shorter.core_records(0) == 3
+        assert shorter.working_set_blocks == trace.working_set_blocks
+
+    def test_sliced_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            simple_trace().sliced(0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = simple_trace(records=7, cores=2)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.cores == trace.cores
+        assert loaded.warmup_fraction == trace.warmup_fraction
+        for core in range(2):
+            np.testing.assert_array_equal(
+                loaded.blocks[core], trace.blocks[core]
+            )
+            np.testing.assert_array_equal(loaded.dep[core], trace.dep[core])
+
+
+class TestTraceBuilder:
+    def test_add_and_freeze(self):
+        builder = TraceBuilder()
+        builder.add(5, work=10.0, dep=True, write=False)
+        builder.add(6, work=20.0, dep=False, write=True)
+        blocks, work, dep, write = builder.freeze()
+        assert list(blocks) == [5, 6]
+        assert list(dep) == [True, False]
+        assert list(write) == [False, True]
+        assert work.dtype == np.float32
+
+    def test_extend_run(self):
+        builder = TraceBuilder()
+        builder.extend([1, 2, 3], work=5.0, dep=False)
+        assert len(builder) == 3
+        blocks, work, dep, _ = builder.freeze()
+        assert list(blocks) == [1, 2, 3]
+        assert not dep.any()
