@@ -64,6 +64,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ideal-tms" in out and "stms" in out
 
+    @pytest.mark.slow
     def test_experiment_to_file(self, tmp_path, capsys):
         target = str(tmp_path / "table2.txt")
         code = main(

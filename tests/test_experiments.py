@@ -39,6 +39,7 @@ class TestCommonHelpers:
             run_experiment("fig99")
 
 
+@pytest.mark.slow
 class TestDriverStructure:
     """Each driver produces a well-formed result on a tiny slice."""
 

@@ -7,6 +7,8 @@ pipeline (generator -> CMP simulation -> prefetcher) on the scaled suite.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro import PrefetcherKind, compare_prefetchers
 from repro.sim.runner import make_stms_config, run_workload
 from repro.workloads.suite import FIGURE_ORDER, WORKLOADS, generate
