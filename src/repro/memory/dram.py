@@ -62,7 +62,7 @@ class DramConfig:
         return ns_per_block * self.clock_ghz
 
 
-@dataclass
+@dataclass(slots=True)
 class DramStats:
     """Aggregate channel behaviour."""
 
@@ -79,6 +79,10 @@ class DramChannel:
     def __init__(self, config: DramConfig | None = None) -> None:
         self.config = config if config is not None else DramConfig()
         self.stats = DramStats()
+        # The config is frozen; cache the derived cycle costs so the
+        # per-request hot path skips two property computations.
+        self._transfer_cycles = self.config.transfer_cycles
+        self._access_latency_cycles = self.config.access_latency_cycles
         # Committed channel time for high-priority work only, and for all
         # work.  High priority queues behind the former, low behind the
         # latter; both extend both, so low-priority backlog never delays a
@@ -98,7 +102,7 @@ class DramChannel:
         """
         if blocks <= 0:
             raise ValueError(f"blocks must be positive, got {blocks}")
-        service = self.config.transfer_cycles * blocks
+        service = self._transfer_cycles * blocks
 
         if priority is Priority.HIGH:
             start = max(now, self._busy_until_high)
@@ -116,7 +120,7 @@ class DramChannel:
         self.stats.busy_cycles += service
         self.stats.queue_cycles += start - now
 
-        return start + self.config.access_latency_cycles + service
+        return start + self._access_latency_cycles + service
 
     def latency(
         self,
@@ -140,14 +144,14 @@ class DramChannel:
         already charged when the prefetch issued, but the requester
         should not wait longer than a fresh demand fetch would take.
         """
-        service = self.config.transfer_cycles * blocks
+        service = self._transfer_cycles * blocks
         start = max(
             now,
             self._busy_until_high
             if priority is Priority.HIGH
             else self._busy_until_all,
         )
-        return start + self.config.access_latency_cycles + service
+        return start + self._access_latency_cycles + service
 
     def low_backlog(self, now: float) -> float:
         """Cycles of committed work ahead of ``now`` for a LOW request.

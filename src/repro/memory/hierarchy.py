@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from repro.memory.address import BLOCK_BYTES
 from repro.memory.cache import (
     AccessResult,
     Cache,
     CacheConfig,
     Eviction,
+    TagArrayCache,
     VictimBuffer,
 )
 from repro.memory.traffic import TrafficCategory, TrafficMeter
@@ -116,11 +119,15 @@ class CmpHierarchy:
         self,
         config: CmpConfig | None = None,
         traffic: TrafficMeter | None = None,
+        l1_kind: str = "dict",
     ) -> None:
+        if l1_kind not in ("dict", "tag"):
+            raise ValueError(f"unknown l1_kind {l1_kind!r} (dict/tag)")
         self.config = config if config is not None else CmpConfig()
         self.traffic = traffic if traffic is not None else TrafficMeter()
+        l1_class = TagArrayCache if l1_kind == "tag" else Cache
         self.l1s = [
-            Cache(self.config.l1_config(core))
+            l1_class(self.config.l1_config(core))
             for core in range(self.config.cores)
         ]
         self.victims = [
@@ -128,8 +135,18 @@ class CmpHierarchy:
             for _ in range(self.config.cores)
         ]
         self.l2 = Cache(self.config.l2_config())
+        self._l2_ways = self.config.l2_ways
         self.off_chip_reads = 0
         self.demand_accesses = 0
+        #: block -> bitmask of cores whose L1 holds a copy.  The L1s are
+        #: tiny next to the L2, so this map lets an inclusive L2 eviction
+        #: skip the per-core probe loop in the common (no-copy) case.
+        self._l1_copies: dict[int, int] = {}
+        #: When enabled (the batched engine does), every inclusive-
+        #: eviction L1 invalidation is appended as ``(core, block)`` so
+        #: the engine can truncate classified runs it cut short.
+        self.log_l1_invalidations = False
+        self.l1_invalidations: "list[tuple[int, int]]" = []
 
     def _check_core(self, core: int) -> None:
         if not 0 <= core < self.config.cores:
@@ -171,43 +188,125 @@ class CmpHierarchy:
         """Install a block arriving from off chip into L2 and the L1."""
         self._check_core(core)
         writebacks: list[Eviction] = []
-        l2_victim = self.l2.fill(block)
-        if l2_victim is not None:
-            self._handle_l2_eviction(l2_victim, writebacks)
-        writebacks.extend(self._fill_l1(core, block, dirty=dirty))
+        self._l2_fill(block, False, writebacks)
+        self._fill_l1_into(core, block, dirty, writebacks)
         return writebacks
+
+    def _l2_fill(
+        self, block: int, dirty: bool, writebacks: list[Eviction]
+    ) -> None:
+        """L2 fill with inclusive-eviction handling.
+
+        Equivalent to ``self.l2.fill(block, dirty)`` followed by
+        :meth:`_handle_l2_eviction` on its victim, with the OrderedDict
+        operations inlined — this runs for every off-chip fill and every
+        dirty victim spill, so the per-call method/allocation overhead
+        matters.  The L2 is always LRU (``CmpConfig`` exposes no policy
+        knob).
+        """
+        l2 = self.l2
+        cache_set = l2._sets[block & l2._set_mask]
+        if block in cache_set:
+            # Refill of a resident block merges dirty, refreshes LRU.
+            was_dirty = cache_set.pop(block)
+            cache_set[block] = was_dirty or dirty
+            return
+        victim_block = None
+        if len(cache_set) >= self._l2_ways:
+            victim_block, victim_dirty = cache_set.popitem(last=False)
+            stats = l2.stats
+            stats.evictions += 1
+            if victim_dirty:
+                stats.dirty_evictions += 1
+        cache_set[block] = dirty
+        l2.stats.fills += 1
+        l2._version += 1
+        if victim_block is not None:
+            self._handle_l2_eviction(victim_block, victim_dirty,
+                                     writebacks)
 
     def _fill_l1(self, core: int, block: int, dirty: bool) -> list[Eviction]:
         """Fill the core's L1, spilling its victim into the victim buffer."""
         writebacks: list[Eviction] = []
-        l1_victim = self.l1s[core].fill(block, dirty=dirty)
-        if l1_victim is not None:
-            displaced = self.victims[core].insert(
-                l1_victim.block, l1_victim.dirty
-            )
-            if displaced is not None and displaced.dirty:
-                # Dirty victim falls back to L2 (on-chip; no pin traffic).
-                l2_victim = self.l2.fill(displaced.block, dirty=True)
-                if l2_victim is not None:
-                    self._handle_l2_eviction(l2_victim, writebacks)
+        self._fill_l1_into(core, block, dirty, writebacks)
         return writebacks
 
+    def _fill_l1_into(
+        self,
+        core: int,
+        block: int,
+        dirty: bool,
+        writebacks: list[Eviction],
+    ) -> None:
+        copies = self._l1_copies
+        bit = 1 << core
+        l1_victim = self.l1s[core].fill_pair(block, dirty)
+        copies[block] = copies.get(block, 0) | bit
+        if l1_victim is None:
+            return
+        victim_block, victim_dirty = l1_victim
+        mask = copies.get(victim_block, 0) & ~bit
+        if mask:
+            copies[victim_block] = mask
+        else:
+            copies.pop(victim_block, None)
+        # Inlined VictimBuffer.insert (FIFO over evicted L1 blocks).
+        victim_buffer = self.victims[core]
+        fifo = victim_buffer._fifo
+        capacity = victim_buffer.capacity
+        if capacity <= 0:
+            if victim_dirty:
+                self._l2_fill(victim_block, True, writebacks)
+            return
+        if victim_block in fifo:
+            fifo[victim_block] = fifo[victim_block] or victim_dirty
+            return
+        if len(fifo) >= capacity:
+            displaced_block, displaced_dirty = fifo.popitem(last=False)
+            if displaced_dirty:
+                # Dirty victim falls back to L2 (on-chip; no pin traffic).
+                self._l2_fill(displaced_block, True, writebacks)
+        fifo[victim_block] = victim_dirty
+
     def _handle_l2_eviction(
-        self, eviction: Eviction, writebacks: list[Eviction]
+        self, block: int, dirty: bool, writebacks: list[Eviction]
     ) -> None:
         """Invalidate inclusive L1 copies and charge write-back traffic.
 
         An inclusive eviction must not lose data: if any L1 holds the
         block dirty, that state merges into the outgoing line.
         """
-        dirty = eviction.dirty
-        for core in range(self.config.cores):
-            if self.l1s[core].peek_dirty(eviction.block):
-                dirty = True
-            self.l1s[core].invalidate(eviction.block)
+        mask = self._l1_copies.pop(block, 0)
+        if mask:
+            for core in range(self.config.cores):
+                if mask & (1 << core):
+                    if self.l1s[core].peek_dirty(block):
+                        dirty = True
+                    self.l1s[core].invalidate(block)
+                    if self.log_l1_invalidations:
+                        self.l1_invalidations.append((core, block))
         if dirty:
-            self.traffic.add_blocks(TrafficCategory.WRITEBACK)
-            writebacks.append(Eviction(block=eviction.block, dirty=True))
+            self.traffic.add_block(TrafficCategory.WRITEBACK)
+            writebacks.append(Eviction(block=block, dirty=True))
+
+    # -- batched interface (tag-array L1s only) ------------------------
+
+    def classify_l1_prefix(self, core: int, blocks: np.ndarray) -> int:
+        """How many upcoming accesses of ``core`` are guaranteed L1 hits.
+
+        L1 hits touch no shared state, so the batched engine commits the
+        whole run at once; classification is valid until the next fill
+        or invalidation of this core's L1.
+        """
+        return self.l1s[core].resident_prefix(blocks)
+
+    def apply_l1_hits(
+        self, core: int, blocks: np.ndarray, writes: np.ndarray
+    ) -> None:
+        """Commit a classified run of L1 hits in one vectorized pass."""
+        self.l1s[core].bulk_hit_update(blocks, writes)
+        self.l1s[core].stats.hits += len(blocks)
+        self.demand_accesses += len(blocks)
 
     def l2_bank(self, block: int) -> int:
         """Bank index of ``block`` (interleaved at block granularity)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """One outstanding miss: the block, when it resolves, and who waits."""
 
@@ -22,7 +22,7 @@ class MshrEntry:
     waiters: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrStats:
     """Counters for MSHR behaviour."""
 
@@ -41,6 +41,11 @@ class MshrFile:
         self.capacity = capacity
         self.stats = MshrStats()
         self._entries: dict[int, MshrEntry] = {}
+        # Lower bound on the earliest outstanding completion, so the
+        # per-miss retirement sweep can skip scanning when nothing can
+        # have completed yet.  Exact tracking is not required: the bound
+        # only ever errs on the side of scanning.
+        self._min_complete = float("inf")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,10 +76,11 @@ class MshrFile:
             block=block, complete_at=complete_at, is_prefetch=is_prefetch
         )
         self._entries[block] = entry
+        if complete_at < self._min_complete:
+            self._min_complete = complete_at
         self.stats.allocations += 1
-        self.stats.peak_occupancy = max(
-            self.stats.peak_occupancy, len(self._entries)
-        )
+        if len(self._entries) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self._entries)
         return entry
 
     def merge(self, block: int) -> MshrEntry:
@@ -89,9 +95,16 @@ class MshrFile:
 
     def retire_complete(self, now: float) -> list[MshrEntry]:
         """Remove and return every entry whose fill has arrived by ``now``."""
+        if now < self._min_complete:
+            return []
         done = [e for e in self._entries.values() if e.complete_at <= now]
         for entry in done:
             del self._entries[entry.block]
+        if done:
+            self._min_complete = min(
+                (e.complete_at for e in self._entries.values()),
+                default=float("inf"),
+            )
         return done
 
     def release(self, block: int) -> None:
@@ -107,3 +120,4 @@ class MshrFile:
     def clear(self) -> None:
         """Drop all outstanding entries (used between simulation phases)."""
         self._entries.clear()
+        self._min_complete = float("inf")

@@ -18,6 +18,11 @@ from repro.memory.address import BLOCK_BYTES
 class TrafficCategory(Enum):
     """Every kind of byte that crosses the processor pins."""
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash — but C-level, which matters: every traffic
+    # charge in the simulator is a dict access keyed by a category.
+    __hash__ = object.__hash__
+
     #: Demand fetches that miss all caches (the baseline's useful reads).
     DEMAND_READ = "demand_read"
     #: Dirty-block write-backs to main memory.
@@ -101,6 +106,10 @@ class TrafficMeter:
         if blocks < 0:
             raise ValueError(f"blocks must be non-negative, got {blocks}")
         self._bytes[category] += blocks * BLOCK_BYTES
+
+    def add_block(self, category: TrafficCategory) -> None:
+        """Charge one 64-byte transfer (validation-free hot path)."""
+        self._bytes[category] += BLOCK_BYTES
 
     def add_bytes(self, category: TrafficCategory, count: int) -> None:
         """Charge raw bytes (for sub-block transfers) to ``category``."""

@@ -30,7 +30,7 @@ from repro.memory.traffic import TrafficCategory, TrafficMeter
 ResidencyFilter = Callable[[int], bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchedBlock:
     """A prefetch-buffer hit returned to the engine for timing."""
 
@@ -47,7 +47,7 @@ class PrefetchedBlock:
         return self.arrival <= now
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetcherStats:
     """Counters every temporal prefetcher maintains."""
 
@@ -196,7 +196,7 @@ class TemporalPrefetcher(ABC):
         if entry is None:
             return None
         self.stats.useful += 1
-        self.traffic.add_blocks(TrafficCategory.USEFUL_PREFETCH)
+        self.traffic.add_block(TrafficCategory.USEFUL_PREFETCH)
         self._on_prefetch_hit(core, block, now)
         return entry
 
@@ -236,15 +236,28 @@ class TemporalPrefetcher(ABC):
         consumed (useful) or displaced/drained (erroneous).
         """
         buffer = self.buffers[core]
-        if block in buffer:
+        stats = self.stats
+        if block in buffer._entries:
             return False
         if self._filter is not None and self._filter(block):
-            self.stats.filtered += 1
+            stats.filtered += 1
             return False
-        if self.dram.low_backlog(now) > self._backlog_limit:
-            self.stats.dropped += 1
+        dram = self.dram
+        # Inlined dram.low_backlog(now) > self._backlog_limit.
+        busy = dram._busy_until_all
+        if busy - now > self._backlog_limit:
+            stats.dropped += 1
             return False
-        arrival = self.dram.request(now, Priority.LOW)
+        # Inlined dram.request(now, Priority.LOW).
+        service = dram._transfer_cycles
+        start = now if now > busy else busy
+        dram._busy_until_all = start + service
+        dram_stats = dram.stats
+        dram_stats.low_priority_requests += 1
+        dram_stats.requests += 1
+        dram_stats.busy_cycles += service
+        dram_stats.queue_cycles += start - now
+        arrival = start + dram._access_latency_cycles + service
         displaced = buffer.insert(
             PrefetchedBlock(
                 block=block, issued_at=now, arrival=arrival, stream=stream
@@ -252,5 +265,5 @@ class TemporalPrefetcher(ABC):
         )
         if displaced is not None:
             self._charge_erroneous()
-        self.stats.issued += 1
+        stats.issued += 1
         return True

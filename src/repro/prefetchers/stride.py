@@ -22,7 +22,7 @@ from repro.prefetchers.base import PrefetchBuffer, PrefetchedBlock
 from repro.memory.dram import DramChannel, Priority
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideStats:
     """Counters for the stride prefetcher."""
 
@@ -31,15 +31,6 @@ class StrideStats:
     useful: int = 0
     erroneous: int = 0
     dropped: int = 0
-
-
-@dataclass
-class _StrideEntry:
-    """Per-region stride tracking state."""
-
-    last_block: int
-    stride: int = 0
-    confirmations: int = 0
 
 
 class StridePrefetcher:
@@ -67,10 +58,18 @@ class StridePrefetcher:
         self.degree = degree
         self.confirm_threshold = confirm_threshold
         self.stats = StrideStats()
-        self._trackers: list[OrderedDict[int, _StrideEntry]] = [
+        # Tracker entries are ``[last_block, stride, confirmations]``
+        # lists — this is the simulator's hottest predictor path, and
+        # list indexing beats attribute access.
+        self._trackers: "list[OrderedDict[int, list]]" = [
             OrderedDict() for _ in range(cores)
         ]
         self.buffers = [PrefetchBuffer(buffer_blocks) for _ in range(cores)]
+        self._region_blocks = self.REGION_BLOCKS
+        self._backlog_limit = (
+            self.BACKLOG_LIMIT_ACCESSES
+            * dram.config.access_latency_cycles
+        )
 
     def probe(self, core: int, block: int) -> bool:
         """True when ``block`` was stride-prefetched (consumes the entry)."""
@@ -83,27 +82,27 @@ class StridePrefetcher:
     def train(self, core: int, block: int, now: float) -> None:
         """Observe an L2 access; detect and run confirmed strides."""
         tracker = self._trackers[core]
-        region = block // self.REGION_BLOCKS
+        region = block // self._region_blocks
         entry = tracker.get(region)
         if entry is None:
             if len(tracker) >= self.tracker_entries:
                 tracker.popitem(last=False)
-            tracker[region] = _StrideEntry(last_block=block)
+            tracker[region] = [block, 0, 0]
             self.stats.trained += 1
             return
         # LRU-refresh the region.
         tracker.move_to_end(region)
-        stride = block - entry.last_block
+        stride = block - entry[0]
         if stride == 0:
             return
-        if stride == entry.stride:
-            entry.confirmations += 1
+        if stride == entry[1]:
+            entry[2] += 1
         else:
-            entry.stride = stride
-            entry.confirmations = 1
-        entry.last_block = block
-        if entry.confirmations >= self.confirm_threshold:
-            self._run_ahead(core, block, entry.stride, now)
+            entry[1] = stride
+            entry[2] = 1
+        entry[0] = block
+        if entry[2] >= self.confirm_threshold:
+            self._run_ahead(core, block, stride, now)
 
     #: Stop running ahead once the channel's low-priority backlog exceeds
     #: this many device accesses (bounded prefetch queue).
@@ -113,25 +112,26 @@ class StridePrefetcher:
         self, core: int, block: int, stride: int, now: float
     ) -> None:
         buffer = self.buffers[core]
-        backlog_limit = (
-            self.BACKLOG_LIMIT_ACCESSES
-            * self.dram.config.access_latency_cycles
-        )
+        resident = buffer._entries
+        backlog_limit = self._backlog_limit
+        dram = self.dram
+        stats = self.stats
         last_target = block
         for i in range(1, self.degree + 1):
             target = block + stride * i
-            if target < 0 or target in buffer:
+            if target < 0 or target in resident:
                 continue
-            if self.dram.low_backlog(now) > backlog_limit:
-                self.stats.dropped += 1
+            # Inlined dram.low_backlog(now) > backlog_limit.
+            if dram._busy_until_all - now > backlog_limit:
+                stats.dropped += 1
                 break
-            arrival = self.dram.request(now, Priority.LOW)
+            arrival = dram.request(now, Priority.LOW)
             displaced = buffer.insert(
                 PrefetchedBlock(block=target, issued_at=now, arrival=arrival)
             )
             if displaced is not None:
-                self.stats.erroneous += 1
-            self.stats.issued += 1
+                stats.erroneous += 1
+            stats.issued += 1
             last_target = target
         self._seed_continuation(core, block, last_target, stride)
 
@@ -154,11 +154,11 @@ class StridePrefetcher:
             return
         if len(tracker) >= self.tracker_entries:
             tracker.popitem(last=False)
-        tracker[region] = _StrideEntry(
-            last_block=last_target,
-            stride=stride,
-            confirmations=self.confirm_threshold - 1,
-        )
+        tracker[region] = [
+            last_target,
+            stride,
+            self.confirm_threshold - 1,
+        ]
 
     def finalize(self) -> None:
         """Account leftovers as erroneous."""

@@ -25,6 +25,7 @@ orderings see the same events.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -60,6 +61,23 @@ class SimConfig:
     #: Collect the per-core off-chip read-miss address sequence during
     #: the measured phase (offline temporal-stream analysis, Fig. 6).
     collect_miss_log: bool = False
+    #: Execution engine: ``"batch"`` (vectorized segment classification,
+    #: the default), ``"scalar"`` (the reference implementation), or
+    #: ``"auto"`` (the ``REPRO_SIM_ENGINE`` environment variable, then
+    #: ``"batch"``).  Both engines produce identical results; the
+    #: equivalence is enforced by ``tests/sim/test_engine_equivalence``.
+    engine: str = "auto"
+
+
+def resolve_engine(engine: str) -> str:
+    """Map an engine request to a concrete engine name."""
+    if engine == "auto":
+        engine = os.environ.get("REPRO_SIM_ENGINE", "batch")
+    if engine not in ("batch", "batch-tag", "scalar"):
+        raise ValueError(
+            f"unknown engine {engine!r} (batch/batch-tag/scalar/auto)"
+        )
+    return engine
 
 
 class Simulator:
@@ -80,7 +98,16 @@ class Simulator:
                 f"trace has {trace.cores} cores but the machine only "
                 f"{self.config.cmp.cores}"
             )
-        state = _RunState(self.config, trace, temporal_factory)
+        engine = resolve_engine(self.config.engine)
+        if engine == "scalar":
+            state = _RunState(self.config, trace, temporal_factory)
+        else:
+            from repro.sim.batch import BatchRunState, TagBatchRunState
+
+            state_class = (
+                TagBatchRunState if engine == "batch-tag" else BatchRunState
+            )
+            state = state_class(self.config, trace, temporal_factory)
         state.run_warmup()
         state.reset_accounting()
         state.run_measured()
@@ -88,7 +115,11 @@ class Simulator:
 
 
 class _RunState:
-    """All mutable state of one simulation run."""
+    """All mutable state of one simulation run (the scalar reference)."""
+
+    #: L1 model the hierarchy is built with ("dict" = scalar reference;
+    #: the batched engine overrides this with the NumPy tag arrays).
+    L1_KIND = "dict"
 
     def __init__(
         self,
@@ -99,7 +130,9 @@ class _RunState:
         self.config = config
         self.trace = trace
         self.traffic = TrafficMeter()
-        self.hierarchy = CmpHierarchy(config.cmp, self.traffic)
+        self.hierarchy = CmpHierarchy(
+            config.cmp, self.traffic, l1_kind=self.L1_KIND
+        )
         self.dram = DramChannel(config.dram)
         self.mshrs = MshrFile(config.cmp.l2_mshrs)
         self.stride: Optional[StridePrefetcher] = (

@@ -61,7 +61,7 @@ class CoverageCounts:
         return self.partially_covered / eligible
 
 
-@dataclass
+@dataclass(slots=True)
 class _IntervalAccumulator:
     """Online union/total tracker for one core's miss intervals.
 
