@@ -1,0 +1,147 @@
+"""Timed harness: one full figure experiment, seed path vs. new stack.
+
+Measures the wall-clock of a figure experiment twice, each in a fresh
+subprocess (cold session cache, cold imports):
+
+* **seed path** — by default the current tree pinned to the scalar
+  reference engine with the session cache disabled and one worker;
+  pass ``--baseline-repo PATH`` (a checkout of the seed commit) to
+  time the genuine seed code instead.
+* **new stack** — the batched engine + memoizing session + runner
+  defaults of the current tree.
+
+Results are printed and appended to ``benchmarks/output/speedup.txt``.
+
+Examples::
+
+    python benchmarks/speedup_harness.py --experiment fig9
+    python benchmarks/speedup_harness.py --experiment fig4 \
+        --baseline-repo /path/to/seed/checkout
+    python benchmarks/speedup_harness.py --suite   # every figure once
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+_RUN_ONE = """
+import time
+from repro.experiments import EXPERIMENTS
+t0 = time.perf_counter()
+EXPERIMENTS[{name!r}](scale={scale!r})
+print("ELAPSED", time.perf_counter() - t0)
+"""
+
+_RUN_SUITE = """
+import time
+from repro.experiments import EXPERIMENTS
+t0 = time.perf_counter()
+for name in sorted(EXPERIMENTS):
+    t1 = time.perf_counter()
+    EXPERIMENTS[name](scale={scale!r})
+    print("PER", name, time.perf_counter() - t1)
+print("ELAPSED", time.perf_counter() - t0)
+"""
+
+
+def _measure(
+    code: str, src: str, env_overrides: dict
+) -> "tuple[float, dict[str, float]]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(env_overrides)
+    output = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    elapsed = None
+    per: "dict[str, float]" = {}
+    for line in output.splitlines():
+        if line.startswith("ELAPSED"):
+            elapsed = float(line.split()[1])
+        elif line.startswith("PER"):
+            _, name, value = line.split()
+            per[name] = float(value)
+    if elapsed is None:
+        raise RuntimeError(f"no ELAPSED line in output:\n{output}")
+    return elapsed, per
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="fig9")
+    parser.add_argument("--scale", default="bench")
+    parser.add_argument(
+        "--suite", action="store_true",
+        help="time every figure experiment once instead of one figure",
+    )
+    parser.add_argument(
+        "--baseline-repo",
+        help="path to a seed checkout; its code becomes the seed path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.suite:
+        code = _RUN_SUITE.format(scale=args.scale)
+        label = "all experiments"
+    else:
+        code = _RUN_ONE.format(name=args.experiment, scale=args.scale)
+        label = args.experiment
+
+    if args.baseline_repo:
+        seed_src = os.path.join(args.baseline_repo, "src")
+        seed_env: dict = {}
+        seed_label = f"seed checkout ({args.baseline_repo})"
+    else:
+        seed_src = os.path.join(ROOT, "src")
+        seed_env = {
+            "REPRO_SIM_ENGINE": "scalar",
+            "REPRO_SIM_CACHE": "0",
+            "REPRO_JOBS": "1",
+        }
+        seed_label = "current tree, scalar engine, no cache, serial"
+
+    print(f"timing {label} at scale={args.scale} ...")
+    seed_elapsed, seed_per = _measure(code, seed_src, seed_env)
+    print(f"  seed path [{seed_label}]: {seed_elapsed:.1f}s")
+    new_elapsed, new_per = _measure(code, os.path.join(ROOT, "src"), {})
+    print(f"  new stack [batched engine + session + runner]: "
+          f"{new_elapsed:.1f}s")
+    ratio = seed_elapsed / new_elapsed if new_elapsed > 0 else float("inf")
+    print(f"  wall-clock reduction: {ratio:.2f}x")
+
+    lines = [
+        f"{label} @ {args.scale}: seed [{seed_label}] "
+        f"{seed_elapsed:.1f}s -> new {new_elapsed:.1f}s ({ratio:.2f}x)"
+    ]
+    for name in seed_per:
+        if name in new_per and new_per[name] > 0:
+            per_ratio = seed_per[name] / new_per[name]
+            line = (
+                f"    {name}: {seed_per[name]:.1f}s -> "
+                f"{new_per[name]:.1f}s ({per_ratio:.2f}x)"
+            )
+            print(line)
+            lines.append(line)
+
+    output_dir = os.path.join(HERE, "output")
+    os.makedirs(output_dir, exist_ok=True)
+    with open(os.path.join(output_dir, "speedup.txt"), "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,7 +120,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.name, scale=args.scale)
+    options: dict = {"scale": args.scale}
+    if args.jobs is not None:
+        from repro.sim.runner import ExperimentRunner
+
+        options["runner"] = ExperimentRunner(
+            max_workers=args.jobs, parallel=args.jobs > 1
+        )
+    result = run_experiment(args.name, **options)
     rendered = result.render()
     if args.output:
         with open(args.output, "w") as handle:
@@ -198,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--scale", default="bench", choices=sorted(SCALES),
         help="scale preset (default: bench)",
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the simulation grid "
+        "(default: REPRO_JOBS or the CPU count)",
     )
     sub.set_defaults(entry=cmd_experiment)
 

@@ -14,6 +14,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.sim.metrics import SimResult
+from repro.sim.runner import ExperimentRunner, SimJob
+
+_DEFAULT_RUNNER: "ExperimentRunner | None" = None
+
+
+def get_runner(runner: "ExperimentRunner | None" = None) -> ExperimentRunner:
+    """The runner shared by all experiment drivers (unless overridden)."""
+    global _DEFAULT_RUNNER
+    if runner is not None:
+        return runner
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ExperimentRunner()
+    return _DEFAULT_RUNNER
+
+
+def simulate_jobs(
+    jobs: "Sequence[SimJob]",
+    runner: "ExperimentRunner | None" = None,
+) -> "list[SimResult]":
+    """Fan a job list out on the shared runner (order-preserving)."""
+    return get_runner(runner).map(jobs)
+
 
 @dataclass
 class ShapeCheck:

@@ -15,9 +15,14 @@ from repro.experiments.common import (
     ExperimentResult,
     ShapeCheck,
     check_monotone,
+    simulate_jobs,
 )
-from repro.sim.runner import PrefetcherKind, run_trace
-from repro.workloads.suite import generate
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
 
 #: Default entry caps (scaled stand-ins for the paper's 10^4..10^7 axis).
 DEFAULT_CAPS = (256, 1024, 4096, 16384, 65536)
@@ -32,21 +37,27 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     caps: "tuple[int, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     entry_caps = caps if caps is not None else DEFAULT_CAPS
 
+    jobs = [
+        SimJob(
+            name,
+            PrefetcherKind.IDEAL_TMS,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            factory_options=job_options(max_index_entries=cap),
+        )
+        for name in names
+        for cap in entry_caps
+    ]
+    results = simulate_jobs(jobs, runner)
     per_workload: dict[str, list[float]] = {name: [] for name in names}
-    for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        for cap in entry_caps:
-            result = run_trace(
-                trace,
-                PrefetcherKind.IDEAL_TMS,
-                scale=scale,
-                max_index_entries=cap,
-            )
-            per_workload[name].append(result.coverage.coverage)
+    for job, result in zip(jobs, results):
+        per_workload[job.workload].append(result.coverage.coverage)
 
     averaged = [
         sum(per_workload[name][i] for name in names) / len(names)

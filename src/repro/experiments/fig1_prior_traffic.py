@@ -10,12 +10,16 @@ enters through EBCP's epoch length).
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    get_runner,
+)
 from repro.prefetchers.traffic_models import (
     PriorDesign,
     prior_design_overheads,
 )
-from repro.sim.runner import PrefetcherKind, run_workload
+from repro.sim.runner import ExperimentRunner, PrefetcherKind
 
 DEFAULT_WORKLOADS = ("web-apache", "web-zeus", "oltp-db2", "oltp-oracle")
 
@@ -25,19 +29,18 @@ def run(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
+    grid = get_runner(runner).run_grid(
+        names,
+        [PrefetcherKind.BASELINE],
+        scale=scale,
+        cores=cores,
+        seed=seed,
+    )
     mlp_by_workload = {
-        name: max(
-            1.0,
-            run_workload(
-                name,
-                PrefetcherKind.BASELINE,
-                scale=scale,
-                cores=cores,
-                seed=seed,
-            ).mlp,
-        )
+        name: max(1.0, grid[(name, PrefetcherKind.BASELINE)].mlp)
         for name in names
     }
     overheads = prior_design_overheads(mlp_by_workload)

@@ -11,9 +11,13 @@ is visited once.
 from __future__ import annotations
 
 from repro.analysis.report import grouped_bar_chart
-from repro.experiments.common import ExperimentResult, ShapeCheck
-from repro.sim.runner import PrefetcherKind, run_trace
-from repro.workloads.suite import FIGURE_ORDER, WORKLOADS, generate
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    get_runner,
+)
+from repro.sim.runner import ExperimentRunner, PrefetcherKind
+from repro.workloads.suite import FIGURE_ORDER, WORKLOADS
 
 
 def run(
@@ -21,15 +25,21 @@ def run(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
+    grid = get_runner(runner).run_grid(
+        names,
+        [PrefetcherKind.BASELINE, PrefetcherKind.IDEAL_TMS],
+        scale=scale,
+        cores=cores,
+        seed=seed,
+    )
     coverage: dict[str, float] = {}
     speedup: dict[str, float] = {}
-
     for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        baseline = run_trace(trace, PrefetcherKind.BASELINE, scale=scale)
-        ideal = run_trace(trace, PrefetcherKind.IDEAL_TMS, scale=scale)
+        baseline = grid[(name, PrefetcherKind.BASELINE)]
+        ideal = grid[(name, PrefetcherKind.IDEAL_TMS)]
         coverage[name] = ideal.coverage.coverage
         speedup[name] = ideal.speedup_over(baseline)
 

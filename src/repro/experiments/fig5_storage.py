@@ -19,9 +19,15 @@ from repro.experiments.common import (
     ExperimentResult,
     ShapeCheck,
     check_monotone,
+    simulate_jobs,
 )
-from repro.sim.runner import PrefetcherKind, make_stms_config, run_trace
-from repro.workloads.suite import WORKLOADS, generate, get_scale
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
+from repro.workloads.suite import WORKLOADS, get_scale
 
 DEFAULT_WORKLOADS = ("web-apache", "oltp-db2", "sci-em3d", "sci-ocean")
 
@@ -33,35 +39,41 @@ def _sweep(
     seed: int,
     history_sizes: "tuple[int, ...] | None" = None,
     index_sizes: "tuple[int, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> "dict[str, list[float]]":
     """Run one parameter sweep; exactly one of the axes must be given."""
     preset = get_scale(scale)
-    coverage: dict[str, list[float]] = {name: [] for name in names}
+    points = history_sizes if history_sizes is not None else index_sizes
+    assert points is not None
+    jobs = []
     for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        points = history_sizes if history_sizes is not None else index_sizes
-        assert points is not None
         for point in points:
             if history_sizes is not None:
-                config = make_stms_config(
-                    scale,
-                    cores=cores,
+                overrides = job_options(
                     history_entries=point,
                     index_buckets=preset.index_buckets * 2,
                     sampling_probability=1.0,
                 )
             else:
-                config = make_stms_config(
-                    scale,
-                    cores=cores,
+                overrides = job_options(
                     history_entries=preset.history_entries * 2,
                     index_buckets=point,
                     sampling_probability=1.0,
                 )
-            result = run_trace(
-                trace, PrefetcherKind.STMS, scale=scale, stms_config=config
+            jobs.append(
+                SimJob(
+                    name,
+                    PrefetcherKind.STMS,
+                    scale=scale,
+                    cores=cores,
+                    seed=seed,
+                    stms_overrides=overrides,
+                )
             )
-            coverage[name].append(result.coverage.coverage)
+    results = simulate_jobs(jobs, runner)
+    coverage: dict[str, list[float]] = {name: [] for name in names}
+    for job, result in zip(jobs, results):
+        coverage[job.workload].append(result.coverage.coverage)
     return coverage
 
 
@@ -93,10 +105,13 @@ def run_history(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     sizes: "tuple[int, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = sizes if sizes is not None else default_history_sizes(scale)
-    coverage = _sweep(names, scale, cores, seed, history_sizes=points)
+    coverage = _sweep(
+        names, scale, cores, seed, history_sizes=points, runner=runner
+    )
 
     rendered = series_table(
         "history entries/core",
@@ -163,10 +178,13 @@ def run_index(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     sizes: "tuple[int, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = sizes if sizes is not None else default_index_sizes(scale)
-    coverage = _sweep(names, scale, cores, seed, index_sizes=points)
+    coverage = _sweep(
+        names, scale, cores, seed, index_sizes=points, runner=runner
+    )
 
     rendered = series_table(
         "index buckets",

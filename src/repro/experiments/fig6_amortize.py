@@ -21,14 +21,15 @@ from repro.experiments.common import (
     ExperimentResult,
     ShapeCheck,
     check_monotone,
+    get_runner,
+    simulate_jobs,
 )
-from repro.sim.engine import SimConfig, Simulator
 from repro.sim.runner import (
+    ExperimentRunner,
     PrefetcherKind,
-    make_sim_config,
-    run_trace,
+    SimJob,
+    job_options,
 )
-from repro.workloads.suite import generate
 
 DEFAULT_WORKLOADS = ("web-apache", "web-zeus", "oltp-db2", "oltp-oracle")
 DEFAULT_DEPTHS = (1, 2, 4, 8, 16)
@@ -40,23 +41,23 @@ def run_cdf(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     """Left graph: streamed-block CDF vs. stream length."""
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
-    base_config = make_sim_config(scale)
-    config = SimConfig(
-        cmp=base_config.cmp,
-        dram=base_config.dram,
-        timing=base_config.timing,
-        use_stride=base_config.use_stride,
+    grid = get_runner(runner).run_grid(
+        names,
+        [PrefetcherKind.BASELINE],
+        scale=scale,
+        cores=cores,
+        seed=seed,
         collect_miss_log=True,
     )
 
     series: dict[str, list[float]] = {}
     weighted_medians: dict[str, float] = {}
     for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        result = Simulator(config).run(trace, None, "baseline")
+        result = grid[(name, PrefetcherKind.BASELINE)]
         assert result.miss_log is not None
         statistics = merge_statistics(
             [extract_streams(log) for log in result.miss_log]
@@ -112,25 +113,41 @@ def run_depth(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     depths: "tuple[int, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     """Right graph: coverage loss vs. fixed prefetch depth."""
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     depth_points = depths if depths is not None else DEFAULT_DEPTHS
 
-    loss: dict[str, list[float]] = {}
+    jobs = []
     for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        unbounded = run_trace(trace, PrefetcherKind.IDEAL_TMS, scale=scale)
+        jobs.append(
+            SimJob(
+                name, PrefetcherKind.IDEAL_TMS,
+                scale=scale, cores=cores, seed=seed,
+            )
+        )
+        for depth in depth_points:
+            jobs.append(
+                SimJob(
+                    name,
+                    PrefetcherKind.FIXED_DEPTH,
+                    scale=scale,
+                    cores=cores,
+                    seed=seed,
+                    factory_options=job_options(
+                        depth=depth, lookup_rounds=1
+                    ),
+                )
+            )
+    results = simulate_jobs(jobs, runner)
+    stride = 1 + len(depth_points)
+    loss: dict[str, list[float]] = {}
+    for i, name in enumerate(names):
+        unbounded = results[i * stride]
         reference = unbounded.coverage.coverage
         losses = []
-        for depth in depth_points:
-            bounded = run_trace(
-                trace,
-                PrefetcherKind.FIXED_DEPTH,
-                scale=scale,
-                depth=depth,
-                lookup_rounds=1,
-            )
+        for bounded in results[i * stride + 1:(i + 1) * stride]:
             if reference > 0:
                 losses.append(
                     max(0.0, 1.0 - bounded.coverage.coverage / reference)

@@ -11,9 +11,18 @@ it roughly in proportion to the sampling probability.
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentResult, ShapeCheck
-from repro.sim.runner import PrefetcherKind, make_stms_config, run_trace
-from repro.workloads.suite import FIGURE_ORDER, generate
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    simulate_jobs,
+)
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
+from repro.workloads.suite import FIGURE_ORDER
 
 SAMPLING_POINTS = (1.0, 0.125)
 
@@ -23,41 +32,50 @@ def run(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
 
+    jobs = [
+        SimJob(
+            name,
+            PrefetcherKind.STMS,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            stms_overrides=job_options(sampling_probability=probability),
+            tag=probability,
+        )
+        for name in names
+        for probability in SAMPLING_POINTS
+    ]
+    results = simulate_jobs(jobs, runner)
     rows = []
     breakdowns: dict[str, dict[float, dict[str, float]]] = {}
-    for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        breakdowns[name] = {}
-        for probability in SAMPLING_POINTS:
-            config = make_stms_config(
-                scale, cores=cores, sampling_probability=probability
-            )
-            result = run_trace(
-                trace, PrefetcherKind.STMS, scale=scale, stms_config=config
-            )
-            assert result.traffic is not None
-            breakdown = result.traffic
-            breakdowns[name][probability] = {
-                "record": breakdown.record_streams,
-                "update": breakdown.update_index,
-                "lookup": breakdown.lookup_streams,
-                "erroneous": breakdown.erroneous_prefetch,
-                "total": breakdown.total,
-            }
-            rows.append(
-                [
-                    name,
-                    f"{probability:.1%}",
-                    breakdown.record_streams,
-                    breakdown.update_index,
-                    breakdown.lookup_streams,
-                    breakdown.erroneous_prefetch,
-                    breakdown.total,
-                ]
-            )
+    for job, result in zip(jobs, results):
+        name = job.workload
+        probability = job.tag
+        breakdowns.setdefault(name, {})
+        assert result.traffic is not None
+        breakdown = result.traffic
+        breakdowns[name][probability] = {
+            "record": breakdown.record_streams,
+            "update": breakdown.update_index,
+            "lookup": breakdown.lookup_streams,
+            "erroneous": breakdown.erroneous_prefetch,
+            "total": breakdown.total,
+        }
+        rows.append(
+            [
+                name,
+                f"{probability:.1%}",
+                breakdown.record_streams,
+                breakdown.update_index,
+                breakdown.lookup_streams,
+                breakdown.erroneous_prefetch,
+                breakdown.total,
+            ]
+        )
 
     rendered = format_table(
         ["workload", "sampling", "record", "update", "lookup",

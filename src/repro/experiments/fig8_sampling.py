@@ -15,9 +15,14 @@ from repro.experiments.common import (
     ExperimentResult,
     ShapeCheck,
     check_monotone,
+    simulate_jobs,
 )
-from repro.sim.runner import PrefetcherKind, make_stms_config, run_trace
-from repro.workloads.suite import generate
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
 
 DEFAULT_WORKLOADS = ("web-apache", "oltp-db2", "sci-em3d", "sci-ocean")
 DEFAULT_PROBABILITIES = (0.01, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0)
@@ -29,31 +34,34 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     probabilities: "tuple[float, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = (
         probabilities if probabilities is not None else DEFAULT_PROBABILITIES
     )
 
-    coverage: dict[str, list[float]] = {}
-    traffic: dict[str, list[float]] = {}
-    update_traffic: dict[str, list[float]] = {}
-    for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        coverage[name] = []
-        traffic[name] = []
-        update_traffic[name] = []
-        for probability in points:
-            config = make_stms_config(
-                scale, cores=cores, sampling_probability=probability
-            )
-            result = run_trace(
-                trace, PrefetcherKind.STMS, scale=scale, stms_config=config
-            )
-            assert result.traffic is not None
-            coverage[name].append(result.coverage.coverage)
-            traffic[name].append(result.overhead_per_useful_byte)
-            update_traffic[name].append(result.traffic.update_index)
+    jobs = [
+        SimJob(
+            name,
+            PrefetcherKind.STMS,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            stms_overrides=job_options(sampling_probability=probability),
+        )
+        for name in names
+        for probability in points
+    ]
+    results = simulate_jobs(jobs, runner)
+    coverage: dict[str, list[float]] = {name: [] for name in names}
+    traffic: dict[str, list[float]] = {name: [] for name in names}
+    update_traffic: dict[str, list[float]] = {name: [] for name in names}
+    for job, result in zip(jobs, results):
+        assert result.traffic is not None
+        coverage[job.workload].append(result.coverage.coverage)
+        traffic[job.workload].append(result.overhead_per_useful_byte)
+        update_traffic[job.workload].append(result.traffic.update_index)
 
     labels = [f"{p:.3f}" for p in points]
     rendered = "\n\n".join(

@@ -15,9 +15,10 @@ from repro.experiments.common import (
     ExperimentResult,
     ShapeCheck,
     geometric_mean,
+    get_runner,
 )
-from repro.sim.runner import PrefetcherKind, run_trace
-from repro.workloads.suite import FIGURE_ORDER, WORKLOADS, generate
+from repro.sim.runner import ExperimentRunner, PrefetcherKind
+from repro.workloads.suite import FIGURE_ORDER, WORKLOADS
 
 
 def run(
@@ -25,16 +26,27 @@ def run(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
 
+    grid = get_runner(runner).run_grid(
+        names,
+        [
+            PrefetcherKind.BASELINE,
+            PrefetcherKind.IDEAL_TMS,
+            PrefetcherKind.STMS,
+        ],
+        scale=scale,
+        cores=cores,
+        seed=seed,
+    )
     rows = []
     data: dict[str, dict[str, float]] = {}
     for name in names:
-        trace = generate(name, scale=scale, cores=cores, seed=seed)
-        baseline = run_trace(trace, PrefetcherKind.BASELINE, scale=scale)
-        ideal = run_trace(trace, PrefetcherKind.IDEAL_TMS, scale=scale)
-        stms = run_trace(trace, PrefetcherKind.STMS, scale=scale)
+        baseline = grid[(name, PrefetcherKind.BASELINE)]
+        ideal = grid[(name, PrefetcherKind.IDEAL_TMS)]
+        stms = grid[(name, PrefetcherKind.STMS)]
         data[name] = {
             "ideal_coverage": ideal.coverage.coverage,
             "stms_coverage": stms.coverage.coverage,

@@ -10,8 +10,12 @@ ocean 1.2.
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentResult, ShapeCheck
-from repro.sim.runner import PrefetcherKind, run_workload
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    get_runner,
+)
+from repro.sim.runner import ExperimentRunner, PrefetcherKind
 from repro.workloads.suite import FIGURE_ORDER, WORKLOADS
 
 
@@ -20,16 +24,21 @@ def run(
     cores: int = 4,
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
 
+    grid = get_runner(runner).run_grid(
+        names,
+        [PrefetcherKind.BASELINE],
+        scale=scale,
+        cores=cores,
+        seed=seed,
+    )
     measured: dict[str, float] = {}
     rows = []
     for name in names:
-        result = run_workload(
-            name, PrefetcherKind.BASELINE, scale=scale, cores=cores,
-            seed=seed,
-        )
+        result = grid[(name, PrefetcherKind.BASELINE)]
         measured[name] = result.mlp
         rows.append(
             [

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-import numpy as np
-
 from repro.memory.address import BLOCK_BYTES
 from repro.memory.cache import (
     AccessResult,
@@ -288,25 +286,6 @@ class CmpHierarchy:
         if dirty:
             self.traffic.add_block(TrafficCategory.WRITEBACK)
             writebacks.append(Eviction(block=block, dirty=True))
-
-    # -- batched interface (tag-array L1s only) ------------------------
-
-    def classify_l1_prefix(self, core: int, blocks: np.ndarray) -> int:
-        """How many upcoming accesses of ``core`` are guaranteed L1 hits.
-
-        L1 hits touch no shared state, so the batched engine commits the
-        whole run at once; classification is valid until the next fill
-        or invalidation of this core's L1.
-        """
-        return self.l1s[core].resident_prefix(blocks)
-
-    def apply_l1_hits(
-        self, core: int, blocks: np.ndarray, writes: np.ndarray
-    ) -> None:
-        """Commit a classified run of L1 hits in one vectorized pass."""
-        self.l1s[core].bulk_hit_update(blocks, writes)
-        self.l1s[core].stats.hits += len(blocks)
-        self.demand_accesses += len(blocks)
 
     def l2_bank(self, block: int) -> int:
         """Bank index of ``block`` (interleaved at block granularity)."""

@@ -10,10 +10,15 @@ bandwidth-regulated channel with demand priority.
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.metrics import CoverageCounts, SimResult
 from repro.sim.runner import (
+    ExperimentRunner,
     PrefetcherKind,
+    SimJob,
     compare_prefetchers,
+    job_options,
+    run_job,
     run_workload,
 )
+from repro.sim.session import SimSession, get_session, set_session
 from repro.sim.timing import TimingModel
 
 __all__ = [
@@ -22,7 +27,14 @@ __all__ = [
     "CoverageCounts",
     "SimResult",
     "PrefetcherKind",
+    "SimJob",
+    "ExperimentRunner",
+    "SimSession",
     "compare_prefetchers",
+    "get_session",
+    "set_session",
+    "job_options",
+    "run_job",
     "run_workload",
     "TimingModel",
 ]

@@ -73,6 +73,8 @@ def resolve_engine(engine: str) -> str:
     """Map an engine request to a concrete engine name."""
     if engine == "auto":
         engine = os.environ.get("REPRO_SIM_ENGINE", "batch")
+        if engine == "auto":
+            engine = "batch"
     if engine not in ("batch", "batch-tag", "scalar"):
         raise ValueError(
             f"unknown engine {engine!r} (batch/batch-tag/scalar/auto)"

@@ -1,7 +1,18 @@
 """High-level experiment runners.
 
-Convenience functions that wire a suite workload, a scaled machine
-configuration, and a prefetcher choice into one call:
+Three layers sit above the engine:
+
+* Convenience functions (:func:`run_workload`, :func:`run_trace`,
+  :func:`compare_prefetchers`) that wire a suite workload, a scaled
+  machine configuration, and a prefetcher choice into one call — all
+  routed through the process-wide :class:`~repro.sim.session.SimSession`
+  so repeated simulations are free.
+* :class:`SimJob` — a picklable description of one simulation over the
+  (workload x config x prefetcher) grid.
+* :class:`ExperimentRunner` — maps job lists onto a process pool
+  (grouped by trace so each worker generates a trace once), falling
+  back to in-process execution on single-CPU machines or when the
+  platform refuses subprocesses.
 
 >>> from repro.sim import run_workload, PrefetcherKind
 >>> result = run_workload("web-apache", PrefetcherKind.STMS, scale="test")
@@ -11,8 +22,12 @@ True
 
 from __future__ import annotations
 
-from dataclasses import replace
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Sequence
 
 from repro.core.config import StmsConfig
 from repro.core.stms import StmsPrefetcher
@@ -20,9 +35,10 @@ from repro.memory.hierarchy import CmpConfig
 from repro.prefetchers.fixed_depth import FixedDepthPrefetcher
 from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
 from repro.prefetchers.markov import MarkovPrefetcher
-from repro.sim.engine import SimConfig, Simulator, TemporalFactory
+from repro.sim.engine import SimConfig, TemporalFactory
 from repro.sim.metrics import SimResult
-from repro.workloads.suite import ScalePreset, generate, get_scale
+from repro.sim.session import SimSession, _freeze, get_session
+from repro.workloads.suite import ScalePreset, get_scale
 from repro.workloads.trace import Trace
 
 
@@ -124,16 +140,29 @@ def run_trace(
     scale: "str | ScalePreset" = "bench",
     stms_config: "StmsConfig | None" = None,
     sim_config: "SimConfig | None" = None,
+    session: "SimSession | None" = None,
     **factory_options: object,
 ) -> SimResult:
-    """Simulate an already-generated trace with one prefetcher kind."""
+    """Simulate an already-generated trace with one prefetcher kind.
+
+    Routed through the session layer: an identical (trace, machine,
+    prefetcher) combination simulates once per process.
+    """
     if sim_config is None:
         sim_config = make_sim_config(scale)
     if kind is PrefetcherKind.STMS and stms_config is None:
         stms_config = make_stms_config(scale, cores=trace.cores)
     factory = make_factory(kind, stms_config, **factory_options)  # type: ignore[arg-type]
-    simulator = Simulator(sim_config)
-    return simulator.run(trace, factory, label=kind.value)
+    if session is None:
+        session = get_session()
+    temporal_key = (
+        kind.value,
+        _freeze(stms_config),
+        tuple(sorted(factory_options.items())),
+    )
+    return session.simulate(
+        trace, sim_config, temporal_key, factory, label=kind.value
+    )
 
 
 def run_workload(
@@ -146,11 +175,14 @@ def run_workload(
     stms_config: "StmsConfig | None" = None,
     sim_config: "SimConfig | None" = None,
     trace: "Trace | None" = None,
+    session: "SimSession | None" = None,
     **factory_options: object,
 ) -> SimResult:
     """Generate (or reuse) a suite workload and simulate it."""
+    if session is None:
+        session = get_session()
     if trace is None:
-        trace = generate(
+        trace = session.trace(
             workload,
             scale=scale,
             cores=cores,
@@ -163,6 +195,7 @@ def run_workload(
         scale=scale,
         stms_config=stms_config,
         sim_config=sim_config,
+        session=session,
         **factory_options,
     )
 
@@ -174,6 +207,7 @@ def compare_prefetchers(
     cores: int = 4,
     seed: int = 7,
     stms_config: "StmsConfig | None" = None,
+    session: "SimSession | None" = None,
 ) -> dict[PrefetcherKind, SimResult]:
     """Run several prefetchers over the *same* generated trace."""
     if kinds is None:
@@ -182,7 +216,9 @@ def compare_prefetchers(
             PrefetcherKind.IDEAL_TMS,
             PrefetcherKind.STMS,
         ]
-    trace = generate(workload, scale=scale, cores=cores, seed=seed)
+    if session is None:
+        session = get_session()
+    trace = session.trace(workload, scale=scale, cores=cores, seed=seed)
     results: dict[PrefetcherKind, SimResult] = {}
     for kind in kinds:
         results[kind] = run_trace(
@@ -190,5 +226,203 @@ def compare_prefetchers(
             kind,
             scale=scale,
             stms_config=stms_config,
+            session=session,
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# The fan-out layer: job descriptions and the parallel runner.
+# ----------------------------------------------------------------------
+
+
+def job_options(**options: object) -> "tuple[tuple[str, object], ...]":
+    """Normalize keyword options into a hashable, picklable tuple."""
+    return tuple(sorted(options.items()))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One cell of the (workload x config x prefetcher) grid.
+
+    Jobs are picklable value objects: the parallel runner ships them to
+    worker processes, and their fields feed the session cache keys, so
+    equal jobs never simulate twice in one process.
+    """
+
+    workload: str
+    kind: PrefetcherKind
+    scale: "str | ScalePreset" = "bench"
+    cores: int = 4
+    seed: int = 7
+    records_per_core: "int | None" = None
+    use_stride: bool = True
+    collect_miss_log: bool = False
+    #: Overrides applied to ``make_stms_config`` (STMS jobs only).
+    stms_overrides: "tuple[tuple[str, object], ...]" = ()
+    #: Extra ``make_factory`` options (depth, lookup_rounds, ...).
+    factory_options: "tuple[tuple[str, object], ...]" = ()
+    #: Caller correlation tag (ignored by execution and caching).
+    tag: "object | None" = field(default=None, compare=False)
+
+    def trace_key(self) -> tuple:
+        """Grouping key: jobs sharing it simulate the same trace."""
+        return (
+            self.workload,
+            _freeze(get_scale(self.scale)),
+            self.cores,
+            self.seed,
+            self.records_per_core,
+        )
+
+
+def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
+    """Execute one job through the (process-local) session."""
+    if session is None:
+        session = get_session()
+    trace = session.trace(
+        job.workload,
+        scale=job.scale,
+        cores=job.cores,
+        seed=job.seed,
+        records_per_core=job.records_per_core,
+    )
+    sim_config = make_sim_config(job.scale, use_stride=job.use_stride)
+    if job.collect_miss_log:
+        sim_config = replace(sim_config, collect_miss_log=True)
+    stms_config = None
+    if job.kind is PrefetcherKind.STMS:
+        stms_config = make_stms_config(
+            job.scale, cores=trace.cores, **dict(job.stms_overrides)
+        )
+    return run_trace(
+        trace,
+        job.kind,
+        scale=job.scale,
+        stms_config=stms_config,
+        sim_config=sim_config,
+        session=session,
+        **dict(job.factory_options),
+    )
+
+
+def _run_bundle(
+    jobs: "list[SimJob]",
+) -> "tuple[list[SimResult], dict]":
+    """Worker entry point: run a bundle of jobs sharing one trace.
+
+    Besides the ordered results, the worker ships back its session's
+    result-cache entries so the parent can adopt them — without this,
+    cross-``map()`` memoization would only exist on the serial path.
+    """
+    session = get_session()
+    results = [run_job(job, session) for job in jobs]
+    return results, session.export_results()
+
+
+def _default_workers() -> "tuple[int, bool]":
+    """(max_workers, parallel) from REPRO_JOBS or the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            workers = 1
+        return max(1, workers), workers > 1
+    cpus = os.cpu_count() or 1
+    return cpus, cpus > 1
+
+
+class ExperimentRunner:
+    """Maps simulation jobs over worker processes.
+
+    Jobs are grouped by trace recipe so each worker generates every
+    trace exactly once and shares baselines across its bundle via its
+    process-local session.  On a single-CPU machine (or with
+    ``REPRO_JOBS=1``) everything runs in-process through the *global*
+    session — which is strictly better for cache reuse, just not
+    concurrent.  Subprocess failures of the platform kind (sandboxes
+    without fork, missing semaphores) degrade to the serial path.
+    """
+
+    def __init__(
+        self,
+        max_workers: "int | None" = None,
+        parallel: "bool | None" = None,
+    ) -> None:
+        default_workers, default_parallel = _default_workers()
+        self.max_workers = (
+            max(1, max_workers) if max_workers is not None
+            else default_workers
+        )
+        self.parallel = (
+            parallel if parallel is not None else default_parallel
+        ) and self.max_workers > 1
+
+    def map(self, jobs: "Sequence[SimJob]") -> "list[SimResult]":
+        """Run all jobs, preserving order; duplicates are free."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        groups: "dict[tuple, list[int]]" = {}
+        for index, job in enumerate(jobs):
+            groups.setdefault(job.trace_key(), []).append(index)
+        bundles = list(groups.values())
+        if not self.parallel or len(bundles) < 2:
+            return [run_job(job) for job in jobs]
+        results: "list[SimResult | None]" = [None] * len(jobs)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        try:
+            workers = min(self.max_workers, len(bundles))
+            session = get_session()
+            with ProcessPoolExecutor(
+                workers, mp_context=context
+            ) as pool:
+                futures = [
+                    (indices, pool.submit(
+                        _run_bundle, [jobs[i] for i in indices]
+                    ))
+                    for indices in bundles
+                ]
+                for indices, future in futures:
+                    bundle_results, cache_entries = future.result()
+                    # Adopt the workers' memo entries so later serial
+                    # runs (and later map() calls) reuse this work.
+                    session.adopt_results(cache_entries)
+                    for i, result in zip(indices, bundle_results):
+                        results[i] = result
+        except (OSError, PermissionError, RuntimeError, ImportError):
+            # Platform refused subprocesses; run everything here.
+            return [run_job(job) for job in jobs]
+        return results  # type: ignore[return-value]
+
+    def run_grid(
+        self,
+        workloads: "Sequence[str]",
+        kinds: "Sequence[PrefetcherKind]",
+        scale: "str | ScalePreset" = "bench",
+        cores: int = 4,
+        seed: int = 7,
+        **job_fields: object,
+    ) -> "dict[tuple[str, PrefetcherKind], SimResult]":
+        """Fan the (workload x kind) grid out and collect results."""
+        jobs = [
+            SimJob(
+                workload=workload,
+                kind=kind,
+                scale=scale,
+                cores=cores,
+                seed=seed,
+                **job_fields,  # type: ignore[arg-type]
+            )
+            for workload in workloads
+            for kind in kinds
+        ]
+        results = self.map(jobs)
+        return {
+            (job.workload, job.kind): result
+            for job, result in zip(jobs, results)
+        }

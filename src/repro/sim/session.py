@@ -1,0 +1,213 @@
+"""Simulation session: content-keyed memoization of traces and results.
+
+Every figure experiment re-simulates baselines and regenerates traces
+that other experiments already produced.  A :class:`SimSession` makes
+that repetition free *within a process*: traces are keyed by their
+generation recipe, simulation results by the content hash of the trace
+plus the full machine/prefetcher configuration.  Simulations are
+deterministic functions of those keys (generators and samplers are
+seeded), so memoization is semantics-preserving.
+
+The module-level session (:func:`get_session`) is shared by
+:mod:`repro.sim.runner` and therefore by every experiment driver, the
+CLI, and the benchmarks; each worker process of the parallel
+:class:`~repro.sim.runner.ExperimentRunner` gets its own.
+
+Results returned from the cache are the *same objects* handed to
+earlier callers — treat :class:`~repro.sim.metrics.SimResult` as
+immutable (every in-repo consumer only reads it).  Set the environment
+variable ``REPRO_SIM_CACHE=0`` (or construct ``SimSession(enabled=
+False)``) to force every run to simulate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, fields, is_dataclass
+
+import numpy as np
+
+from repro.sim.engine import SimConfig, Simulator, resolve_engine
+from repro.sim.metrics import SimResult
+from repro.workloads.suite import ScalePreset, generate, get_scale
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class SessionStats:
+    """Cache behaviour counters (observability for tests and tuning)."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
+
+
+def _freeze(value):
+    """Recursively convert a value into a hashable cache-key component."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(
+            sorted((k, _freeze(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Content hash of a trace (arrays + metadata), cached on the trace.
+
+    Traces are treated as immutable once generated; the digest is
+    computed once and stored on the instance.
+    """
+    cached = getattr(trace, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(trace.name.encode())
+    digest.update(str(trace.warmup_fraction).encode())
+    digest.update(str(trace.working_set_blocks).encode())
+    for core in range(trace.cores):
+        for column in (trace.blocks, trace.work, trace.dep, trace.write):
+            array = np.asarray(column[core])
+            digest.update(str(array.dtype).encode())
+            digest.update(array.tobytes())
+    fingerprint = digest.hexdigest()
+    trace._fingerprint = fingerprint
+    return fingerprint
+
+
+class SimSession:
+    """Process-wide memo of generated traces and simulation results."""
+
+    def __init__(self, enabled: "bool | None" = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_SIM_CACHE", "1") != "0"
+        self.enabled = enabled
+        self.stats = SessionStats()
+        self._traces: "dict[tuple, Trace]" = {}
+        self._results: "dict[tuple, SimResult]" = {}
+
+    # ------------------------------------------------------------------
+    # Trace generation.
+    # ------------------------------------------------------------------
+
+    def trace(
+        self,
+        workload: str,
+        scale: "str | ScalePreset" = "bench",
+        cores: int = 4,
+        seed: int = 7,
+        records_per_core: "int | None" = None,
+    ) -> Trace:
+        """Generate (or reuse) a suite workload trace."""
+        preset = get_scale(scale)
+        key = (workload, _freeze(preset), cores, seed, records_per_core)
+        if self.enabled:
+            cached = self._traces.get(key)
+            if cached is not None:
+                self.stats.trace_hits += 1
+                return cached
+        self.stats.trace_misses += 1
+        trace = generate(
+            workload,
+            scale=preset,
+            cores=cores,
+            seed=seed,
+            records_per_core=records_per_core,
+        )
+        if self.enabled:
+            self._traces[key] = trace
+        return trace
+
+    # ------------------------------------------------------------------
+    # Simulation.
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        trace: Trace,
+        sim_config: SimConfig,
+        temporal_key,
+        temporal_factory,
+        label: str,
+    ) -> SimResult:
+        """Run (or reuse) one simulation.
+
+        ``temporal_key`` must uniquely describe the temporal-prefetcher
+        configuration that ``temporal_factory`` builds (the runner
+        passes the prefetcher kind plus its full parameterization); two
+        calls with equal keys must request equivalent simulations.
+        """
+        if not self.enabled:
+            self.stats.sim_misses += 1
+            return Simulator(sim_config).run(
+                trace, temporal_factory, label=label
+            )
+        key = (
+            trace_fingerprint(trace),
+            _freeze(sim_config),
+            resolve_engine(sim_config.engine),
+            _freeze(temporal_key),
+            label,
+        )
+        cached = self._results.get(key)
+        if cached is not None:
+            self.stats.sim_hits += 1
+            return cached
+        self.stats.sim_misses += 1
+        result = Simulator(sim_config).run(
+            trace, temporal_factory, label=label
+        )
+        self._results[key] = result
+        return result
+
+    def export_results(self) -> "dict[tuple, SimResult]":
+        """Snapshot of the result cache (for cross-process adoption)."""
+        return dict(self._results)
+
+    def adopt_results(
+        self, entries: "dict[tuple, SimResult]"
+    ) -> None:
+        """Merge result-cache entries computed by another session.
+
+        Keys are content-based (trace fingerprint + full configuration),
+        so entries from a worker process are valid here verbatim.
+        """
+        if self.enabled:
+            self._results.update(entries)
+
+    def clear(self) -> None:
+        """Drop all cached traces and results."""
+        self._traces.clear()
+        self._results.clear()
+
+
+#: The process-wide session used by the runner layer.
+_SESSION: SimSession | None = None
+
+
+def get_session() -> SimSession:
+    """The process-global session (created lazily)."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = SimSession()
+    return _SESSION
+
+
+def set_session(session: "SimSession | None") -> "SimSession | None":
+    """Swap the process-global session; returns the previous one.
+
+    Pass ``None`` to reset (a fresh session is created on next use).
+    Benchmarks use this to measure cold paths.
+    """
+    global _SESSION
+    previous = _SESSION
+    _SESSION = session
+    return previous

@@ -149,3 +149,63 @@ class TestConsumptionTracking:
         engine = make_engine()
         engine.begin(0, 0)
         assert engine.annotation_target() is None
+
+
+class TestPauseResumeEdgeCases:
+    """Satellite coverage: pause/resume boundary behaviour."""
+
+    def test_confirm_resume_on_non_matching_block_stays_paused(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2, 3, marked={3}), 0.0)
+        paused = engine.paused_at
+        assert paused is not None and paused.block == 3
+        # A miss on an unrelated block must not clear the pause.
+        assert not engine.confirm_resume(99)
+        assert engine.paused_at is paused
+        assert engine.consumed_count == 0
+        # The matching block does resume (and counts as consumed).
+        assert engine.confirm_resume(3)
+        assert engine.paused_at is None
+        assert engine.consumed_count == 1
+
+    def test_confirm_resume_without_pause(self):
+        engine = make_engine()
+        engine.begin(0, 0)
+        engine.enqueue_entries(entries(1, 2), 0.0)
+        assert not engine.confirm_resume(1)
+
+    def test_marked_entry_exactly_at_queue_capacity(self):
+        # The marked entry is the last slot the queue can accept: it
+        # must be queued AND pause the stream.
+        engine = make_engine(capacity=3)
+        engine.begin(0, 0)
+        accepted = engine.enqueue_entries(entries(1, 2, 3, marked={3}), 0.0)
+        assert accepted == 3
+        assert engine.queue_depth == 3
+        assert engine.paused_at is not None
+        assert engine.paused_at.block == 3
+
+    def test_marked_entry_just_past_queue_capacity(self):
+        # The marked entry does not fit: nothing pauses, and the fetch
+        # cursor stops right before it so a later refill retries it.
+        engine = make_engine(capacity=3)
+        engine.begin(0, 0)
+        accepted = engine.enqueue_entries(entries(1, 2, 3, 4, marked={4}), 0.0)
+        assert accepted == 3
+        assert engine.paused_at is None
+        assert engine.next_fetch_sequence == 3
+
+    def test_annotation_target_after_reset(self):
+        engine = make_engine()
+        engine.begin(source_core=2, next_fetch_sequence=5)
+        engine.enqueue_entries(entries(7, 8, start=5), 0.0)
+        popped = engine.pop_for_prefetch()
+        assert popped is not None
+        engine.on_consumed(popped.block)
+        assert engine.annotation_target() == (2, 6)
+        engine.reset()
+        # All consumption history is gone: nothing to annotate.
+        assert engine.annotation_target() is None
+        assert engine.last_consumed is None
+        assert engine.consumed_count == 0

@@ -138,3 +138,68 @@ class TestTemporalPrefetcherMachinery:
         prefetcher.on_demand_miss(0, 20, now=2e6)
         prefetcher.finalize(now=3e6)
         assert prefetcher.stats.accuracy == pytest.approx(0.5)
+
+
+class TestInlinedDramFastPath:
+    """Pin the hand-inlined DRAM math to the real channel methods.
+
+    ``TemporalPrefetcher._issue_prefetch`` and
+    ``StridePrefetcher._run_ahead`` inline ``DramChannel.request(LOW)``
+    and ``low_backlog`` for speed; if the channel model ever changes,
+    these tests fail loudly instead of letting the copies drift.
+    """
+
+    def test_issue_prefetch_matches_channel_request(self):
+        from repro.memory.dram import DramChannel, DramConfig, Priority
+        from repro.memory.traffic import TrafficMeter
+        from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
+
+        inlined = DramChannel(DramConfig())
+        reference = DramChannel(DramConfig())
+        prefetcher = IdealTmsPrefetcher(1, inlined, TrafficMeter())
+        times = [0.0, 10.0, 10.0, 500.0, 501.3, 2000.7]
+        for i, now in enumerate(times):
+            assert prefetcher._issue_prefetch(0, 100 + i, now)
+            expected = reference.request(now, Priority.LOW)
+            entry = prefetcher.buffers[0].take(100 + i)
+            assert entry is not None
+            assert entry.arrival == expected
+        assert inlined.stats == reference.stats
+        assert inlined._busy_until_all == reference._busy_until_all
+        assert inlined._busy_until_high == reference._busy_until_high
+
+    def test_issue_prefetch_backlog_drop_matches_low_backlog(self):
+        from repro.memory.dram import DramChannel, DramConfig, Priority
+        from repro.memory.traffic import TrafficMeter
+        from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
+
+        dram = DramChannel(DramConfig())
+        prefetcher = IdealTmsPrefetcher(1, dram, TrafficMeter())
+        # Saturate the channel well past the backlog limit.
+        for _ in range(2000):
+            dram.request(0.0, Priority.LOW)
+        assert dram.low_backlog(0.0) > prefetcher._backlog_limit
+        assert not prefetcher._issue_prefetch(0, 7, 0.0)
+        assert prefetcher.stats.dropped == 1
+
+    def test_stride_run_ahead_matches_channel_request(self):
+        from repro.memory.dram import DramChannel, DramConfig, Priority
+        from repro.prefetchers.stride import StridePrefetcher
+
+        inlined = DramChannel(DramConfig())
+        reference = DramChannel(DramConfig())
+        stride = StridePrefetcher(1, inlined, degree=2)
+        # Train a +1 stride: third access confirms and runs ahead.
+        for i, block in enumerate((10, 11, 12)):
+            stride.train(0, block, float(i))
+        issued = stride.stats.issued
+        assert issued == 2
+        expected = [
+            reference.request(2.0, Priority.LOW) for _ in range(issued)
+        ]
+        arrivals = sorted(
+            entry.arrival
+            for entry in stride.buffers[0].drain()
+        )
+        assert arrivals == sorted(expected)
+        assert inlined.stats == reference.stats

@@ -1,0 +1,131 @@
+"""Tests for the job grid and the parallel experiment runner."""
+
+import pytest
+
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+    run_job,
+)
+
+
+def _job(kind=PrefetcherKind.BASELINE, **overrides):
+    fields = dict(
+        workload="web-apache", kind=kind, scale="test", cores=2, seed=3
+    )
+    fields.update(overrides)
+    return SimJob(**fields)
+
+
+class TestSimJob:
+    def test_trace_key_groups_same_trace(self):
+        a = _job(PrefetcherKind.BASELINE)
+        b = _job(PrefetcherKind.IDEAL_TMS)
+        assert a.trace_key() == b.trace_key()
+
+    def test_trace_key_separates_seeds(self):
+        assert _job(seed=1).trace_key() != _job(seed=2).trace_key()
+
+    def test_tag_does_not_affect_equality(self):
+        assert _job(tag="x") == _job(tag="y")
+
+    def test_job_options_normalizes_order(self):
+        assert job_options(b=2, a=1) == job_options(a=1, b=2)
+
+    def test_run_job_applies_overrides(self):
+        result = run_job(
+            _job(
+                PrefetcherKind.STMS,
+                stms_overrides=job_options(sampling_probability=1.0),
+            )
+        )
+        assert result.prefetcher == "stms"
+        assert result.measured_records > 0
+
+    def test_run_job_collects_miss_log(self):
+        result = run_job(_job(collect_miss_log=True))
+        assert result.miss_log is not None
+
+
+class TestRunnerSerial:
+    def test_map_preserves_order_and_dedupes(self):
+        runner = ExperimentRunner(parallel=False)
+        jobs = [
+            _job(PrefetcherKind.BASELINE),
+            _job(PrefetcherKind.IDEAL_TMS),
+            _job(PrefetcherKind.BASELINE),
+        ]
+        results = runner.map(jobs)
+        assert [r.prefetcher for r in results] == [
+            "baseline", "ideal-tms", "baseline",
+        ]
+        assert results[0] is results[2]
+
+    def test_empty_job_list(self):
+        assert ExperimentRunner(parallel=False).map([]) == []
+
+    def test_run_grid_shape(self):
+        runner = ExperimentRunner(parallel=False)
+        grid = runner.run_grid(
+            ["web-apache", "oltp-db2"],
+            [PrefetcherKind.BASELINE],
+            scale="test",
+            cores=2,
+            seed=3,
+        )
+        assert set(grid) == {
+            ("web-apache", PrefetcherKind.BASELINE),
+            ("oltp-db2", PrefetcherKind.BASELINE),
+        }
+
+
+class TestRunnerParallel:
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self):
+        jobs = [
+            SimJob(w, k, scale="test", cores=2, seed=3)
+            for w in ("web-apache", "oltp-db2")
+            for k in (PrefetcherKind.BASELINE, PrefetcherKind.STMS)
+        ]
+        serial = ExperimentRunner(parallel=False).map(jobs)
+        parallel = ExperimentRunner(max_workers=2, parallel=True).map(jobs)
+        for s, p in zip(serial, parallel):
+            assert s.prefetcher == p.prefetcher
+            assert s.elapsed_cycles == p.elapsed_cycles
+            assert s.coverage == p.coverage
+
+    def test_single_bundle_runs_in_process(self):
+        # One trace recipe -> no pool spin-up even when parallel.
+        runner = ExperimentRunner(max_workers=4, parallel=True)
+        results = runner.map(
+            [_job(PrefetcherKind.BASELINE), _job(PrefetcherKind.MARKOV)]
+        )
+        assert len(results) == 2
+
+
+class TestParallelCacheAdoption:
+    def test_parallel_results_adopted_by_global_session(self):
+        from repro.sim.session import SimSession, set_session
+
+        previous = set_session(SimSession(enabled=True))
+        try:
+            from repro.sim.session import get_session
+
+            jobs = [
+                SimJob(w, PrefetcherKind.BASELINE, scale="test",
+                       cores=2, seed=9)
+                for w in ("web-apache", "oltp-db2")
+            ]
+            runner = ExperimentRunner(max_workers=2, parallel=True)
+            runner.map(jobs)
+            session = get_session()
+            # Worker results were merged: a serial re-run is a pure
+            # cache hit (no new simulations).
+            before = session.stats.sim_misses
+            ExperimentRunner(parallel=False).map(jobs)
+            assert session.stats.sim_misses == before
+            assert session.stats.sim_hits >= 2
+        finally:
+            set_session(previous)

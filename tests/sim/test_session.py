@@ -1,0 +1,143 @@
+"""Tests for the memoizing simulation session."""
+
+import dataclasses
+
+from repro.sim.engine import SimConfig
+from repro.sim.runner import (
+    PrefetcherKind,
+    make_stms_config,
+    run_trace,
+    run_workload,
+)
+from repro.sim.session import SimSession, trace_fingerprint
+
+from tests.conftest import make_trace
+
+
+class TestTraceMemo:
+    def test_same_recipe_returns_same_object(self):
+        session = SimSession(enabled=True)
+        first = session.trace("web-apache", scale="test", seed=3)
+        second = session.trace("web-apache", scale="test", seed=3)
+        assert first is second
+        assert session.stats.trace_hits == 1
+        assert session.stats.trace_misses == 1
+
+    def test_different_seed_regenerates(self):
+        session = SimSession(enabled=True)
+        first = session.trace("web-apache", scale="test", seed=3)
+        second = session.trace("web-apache", scale="test", seed=4)
+        assert first is not second
+        assert session.stats.trace_misses == 2
+
+    def test_disabled_session_always_generates(self):
+        session = SimSession(enabled=False)
+        first = session.trace("web-apache", scale="test", seed=3)
+        second = session.trace("web-apache", scale="test", seed=3)
+        assert first is not second
+
+
+class TestFingerprint:
+    def test_identical_content_identical_fingerprint(self):
+        a = make_trace([[1, 2, 3], [4, 5, 6]])
+        b = make_trace([[1, 2, 3], [4, 5, 6]])
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+
+    def test_content_changes_fingerprint(self):
+        a = make_trace([[1, 2, 3]])
+        b = make_trace([[1, 2, 4]])
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+
+    def test_write_flag_changes_fingerprint(self):
+        a = make_trace([[1, 2, 3]], write=False)
+        b = make_trace([[1, 2, 3]], write=True)
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+
+
+class TestSimulationMemo:
+    def test_repeat_simulation_served_from_cache(self):
+        session = SimSession(enabled=True)
+        trace = make_trace([[1, 2, 3] * 50])
+        first = run_trace(
+            trace, PrefetcherKind.BASELINE, scale="test", session=session
+        )
+        second = run_trace(
+            trace, PrefetcherKind.BASELINE, scale="test", session=session
+        )
+        assert first is second
+        assert session.stats.sim_hits == 1
+
+    def test_prefetcher_kind_separates_entries(self):
+        session = SimSession(enabled=True)
+        trace = make_trace([[1, 2, 3] * 50])
+        run_trace(
+            trace, PrefetcherKind.BASELINE, scale="test", session=session
+        )
+        run_trace(
+            trace, PrefetcherKind.MARKOV, scale="test", session=session
+        )
+        assert session.stats.sim_misses == 2
+
+    def test_stms_config_separates_entries(self):
+        session = SimSession(enabled=True)
+        trace = make_trace([[7, 8, 9] * 60])
+        for probability in (1.0, 0.5):
+            run_trace(
+                trace,
+                PrefetcherKind.STMS,
+                scale="test",
+                stms_config=make_stms_config(
+                    "test", cores=1, sampling_probability=probability
+                ),
+                session=session,
+            )
+        assert session.stats.sim_misses == 2
+
+    def test_sim_config_separates_entries(self):
+        session = SimSession(enabled=True)
+        trace = make_trace([[1, 2, 3] * 50])
+        for use_stride in (True, False):
+            run_trace(
+                trace,
+                PrefetcherKind.BASELINE,
+                scale="test",
+                sim_config=dataclasses.replace(
+                    SimConfig(), use_stride=use_stride
+                ),
+                session=session,
+            )
+        assert session.stats.sim_misses == 2
+
+    def test_run_workload_uses_session(self):
+        session = SimSession(enabled=True)
+        first = run_workload(
+            "web-apache",
+            PrefetcherKind.BASELINE,
+            scale="test",
+            cores=2,
+            seed=5,
+            session=session,
+        )
+        second = run_workload(
+            "web-apache",
+            PrefetcherKind.BASELINE,
+            scale="test",
+            cores=2,
+            seed=5,
+            session=session,
+        )
+        assert first is second
+        assert session.stats.trace_hits == 1
+        assert session.stats.sim_hits == 1
+
+    def test_clear_drops_entries(self):
+        session = SimSession(enabled=True)
+        trace = make_trace([[1, 2, 3] * 50])
+        run_trace(
+            trace, PrefetcherKind.BASELINE, scale="test", session=session
+        )
+        session.clear()
+        run_trace(
+            trace, PrefetcherKind.BASELINE, scale="test", session=session
+        )
+        assert session.stats.sim_misses == 2
