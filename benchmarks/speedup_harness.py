@@ -1,29 +1,37 @@
-"""Timed harness: one full figure experiment, seed path vs. new stack.
+"""Timed harness: figure experiments across engine/cache generations.
 
-Measures the wall-clock of a figure experiment twice, each in a fresh
-subprocess (cold session cache, cold imports):
+Two modes, each timing full experiments in fresh subprocesses (cold
+session cache, cold imports):
 
-* **seed path** — by default the current tree pinned to the scalar
-  reference engine with the session cache disabled and one worker;
-  pass ``--baseline-repo PATH`` (a checkout of the seed commit) to
-  time the genuine seed code instead.
-* **new stack** — the batched engine + memoizing session + runner
-  defaults of the current tree.
+* **seed-vs-new** (default) — the seed path (current tree pinned to the
+  scalar engine with caching disabled, or ``--baseline-repo PATH`` for
+  a genuine seed checkout) against the batched engine + memoizing
+  session + runner defaults of the current tree.
+* **store** (``--store``) — a *cold* run of one experiment populating
+  the on-disk artifact store, then a *warm* run in a new process served
+  from it: the cross-process caching the store tier exists for.
 
-Results are printed and appended to ``benchmarks/output/speedup.txt``.
+Every invocation appends a human-readable line to
+``benchmarks/output/speedup.txt`` **and** writes a machine-readable
+``benchmarks/output/BENCH_<stamp>.json`` (per-figure wall-clock plus
+cache hit counters) so the performance trajectory is trackable across
+PRs and CI uploads it as a workflow artifact.
 
 Examples::
 
     python benchmarks/speedup_harness.py --experiment fig9
+    python benchmarks/speedup_harness.py --suite   # every figure once
+    python benchmarks/speedup_harness.py --store --experiment fig4
     python benchmarks/speedup_harness.py --experiment fig4 \
         --baseline-repo /path/to/seed/checkout
-    python benchmarks/speedup_harness.py --suite   # every figure once
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import shutil
 import subprocess
 import sys
 import time
@@ -31,13 +39,24 @@ import time
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 
+# The session-stats print is guarded: the seed checkout predates the
+# session layer (and older trees its newer counters).
+_STATS_TAIL = """
+try:
+    import dataclasses, json
+    from repro.sim.session import get_session
+    print("STATS " + json.dumps(dataclasses.asdict(get_session().stats)))
+except Exception:
+    pass
+"""
+
 _RUN_ONE = """
 import time
 from repro.experiments import EXPERIMENTS
 t0 = time.perf_counter()
 EXPERIMENTS[{name!r}](scale={scale!r})
 print("ELAPSED", time.perf_counter() - t0)
-"""
+""" + _STATS_TAIL
 
 _RUN_SUITE = """
 import time
@@ -48,12 +67,12 @@ for name in sorted(EXPERIMENTS):
     EXPERIMENTS[name](scale={scale!r})
     print("PER", name, time.perf_counter() - t1)
 print("ELAPSED", time.perf_counter() - t0)
-"""
+""" + _STATS_TAIL
 
 
 def _measure(
     code: str, src: str, env_overrides: dict
-) -> "tuple[float, dict[str, float]]":
+) -> "tuple[float, dict[str, float], dict]":
     env = dict(os.environ)
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -68,15 +87,110 @@ def _measure(
     ).stdout
     elapsed = None
     per: "dict[str, float]" = {}
+    stats: dict = {}
     for line in output.splitlines():
         if line.startswith("ELAPSED"):
             elapsed = float(line.split()[1])
         elif line.startswith("PER"):
             _, name, value = line.split()
             per[name] = float(value)
+        elif line.startswith("STATS "):
+            stats = json.loads(line[len("STATS "):])
     if elapsed is None:
         raise RuntimeError(f"no ELAPSED line in output:\n{output}")
-    return elapsed, per
+    return elapsed, per, stats
+
+
+def _hit_rate(stats: dict) -> "float | None":
+    """Fraction of simulations served from either cache tier."""
+    hits = stats.get("sim_hits", 0) + stats.get("sim_store_hits", 0)
+    total = hits + stats.get("sim_misses", 0)
+    if total == 0:
+        return None
+    return hits / total
+
+
+def _output_dir() -> str:
+    path = os.path.join(HERE, "output")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _record(lines: "list[str]", payload: dict) -> str:
+    """Append the text log and write the BENCH_<stamp>.json record."""
+    output_dir = _output_dir()
+    with open(os.path.join(output_dir, "speedup.txt"), "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    payload["stamp"] = stamp
+    bench_path = os.path.join(output_dir, f"BENCH_{stamp}.json")
+    with open(bench_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {bench_path}")
+    return bench_path
+
+
+def _run_store_mode(args: argparse.Namespace, code: str, label: str) -> int:
+    """Cold-vs-warm measurement of the persistent artifact store."""
+    store_dir = args.store_dir or os.path.join(
+        _output_dir(), "store-bench"
+    )
+    # The first run must be genuinely cold — but never delete a
+    # directory that isn't recognizably an artifact store (a typo'd
+    # --store-dir must not wipe arbitrary data).
+    if os.path.isdir(store_dir) and os.listdir(store_dir):
+        if not os.path.exists(os.path.join(store_dir, "schema.json")):
+            raise SystemExit(
+                f"--store-dir {store_dir} exists, is not empty, and has "
+                "no schema.json stamp; refusing to clear it"
+            )
+        shutil.rmtree(store_dir)
+    src = os.path.join(ROOT, "src")
+    # Pin the cache environment: an inherited REPRO_SIM_CACHE=0 would
+    # quietly disable the very tier being measured.
+    env = {"REPRO_STORE_DIR": store_dir, "REPRO_SIM_CACHE": "1"}
+
+    print(f"store tier, {label} at scale={args.scale} ...")
+    cold, cold_per, cold_stats = _measure(code, src, env)
+    print(f"  cold (empty store): {cold:.1f}s")
+    warm, warm_per, warm_stats = _measure(code, src, env)
+    ratio = cold / warm if warm > 0 else float("inf")
+    print(
+        f"  warm (new process, same store): {warm:.2f}s ({ratio:.1f}x)"
+    )
+    print(
+        f"  warm served from disk: "
+        f"{warm_stats.get('sim_store_hits', 0)} results, "
+        f"{warm_stats.get('trace_store_hits', 0)} traces, "
+        f"{warm_stats.get('sim_misses', 0)} simulated"
+    )
+
+    lines = [
+        f"store tier, {label} @ {args.scale}: cold {cold:.1f}s -> "
+        f"warm {warm:.2f}s ({ratio:.1f}x, "
+        f"{warm_stats.get('sim_store_hits', 0)} store hits, "
+        f"{warm_stats.get('sim_misses', 0)} simulated)"
+    ]
+    _record(
+        lines,
+        {
+            "mode": "store",
+            "experiment": label,
+            "scale": args.scale,
+            "store_dir": store_dir,
+            "cold_s": cold,
+            "warm_s": warm,
+            "speedup": ratio,
+            "cold_per_figure": cold_per,
+            "warm_per_figure": warm_per,
+            "cold_stats": cold_stats,
+            "warm_stats": warm_stats,
+            "cold_hit_rate": _hit_rate(cold_stats),
+            "warm_hit_rate": _hit_rate(warm_stats),
+        },
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -91,6 +205,16 @@ def main(argv=None) -> int:
         "--baseline-repo",
         help="path to a seed checkout; its code becomes the seed path",
     )
+    parser.add_argument(
+        "--store", action="store_true",
+        help="measure the artifact store: cold run, then a warm run in "
+        "a new process served from disk",
+    )
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="store directory for --store (cleared before the cold "
+        "run; default: benchmarks/output/store-bench)",
+    )
     args = parser.parse_args(argv)
 
     if args.suite:
@@ -100,23 +224,34 @@ def main(argv=None) -> int:
         code = _RUN_ONE.format(name=args.experiment, scale=args.scale)
         label = args.experiment
 
+    if args.store:
+        return _run_store_mode(args, code, label)
+
+    # Both legs pin the cache environment: an inherited warm
+    # REPRO_STORE_DIR (or REPRO_SIM_CACHE=0) would silently serve one
+    # side from disk and record a bogus speedup as permanent evidence.
     if args.baseline_repo:
         seed_src = os.path.join(args.baseline_repo, "src")
-        seed_env: dict = {}
+        seed_env: dict = {"REPRO_STORE_DIR": ""}
         seed_label = f"seed checkout ({args.baseline_repo})"
     else:
         seed_src = os.path.join(ROOT, "src")
         seed_env = {
             "REPRO_SIM_ENGINE": "scalar",
             "REPRO_SIM_CACHE": "0",
+            "REPRO_STORE_DIR": "",
             "REPRO_JOBS": "1",
         }
         seed_label = "current tree, scalar engine, no cache, serial"
 
     print(f"timing {label} at scale={args.scale} ...")
-    seed_elapsed, seed_per = _measure(code, seed_src, seed_env)
+    seed_elapsed, seed_per, _ = _measure(code, seed_src, seed_env)
     print(f"  seed path [{seed_label}]: {seed_elapsed:.1f}s")
-    new_elapsed, new_per = _measure(code, os.path.join(ROOT, "src"), {})
+    new_elapsed, new_per, new_stats = _measure(
+        code,
+        os.path.join(ROOT, "src"),
+        {"REPRO_SIM_CACHE": "1", "REPRO_STORE_DIR": ""},
+    )
     print(f"  new stack [batched engine + session + runner]: "
           f"{new_elapsed:.1f}s")
     ratio = seed_elapsed / new_elapsed if new_elapsed > 0 else float("inf")
@@ -126,9 +261,15 @@ def main(argv=None) -> int:
         f"{label} @ {args.scale}: seed [{seed_label}] "
         f"{seed_elapsed:.1f}s -> new {new_elapsed:.1f}s ({ratio:.2f}x)"
     ]
+    per_figure: "dict[str, dict[str, float]]" = {}
     for name in seed_per:
         if name in new_per and new_per[name] > 0:
             per_ratio = seed_per[name] / new_per[name]
+            per_figure[name] = {
+                "seed_s": seed_per[name],
+                "new_s": new_per[name],
+                "speedup": per_ratio,
+            }
             line = (
                 f"    {name}: {seed_per[name]:.1f}s -> "
                 f"{new_per[name]:.1f}s ({per_ratio:.2f}x)"
@@ -136,10 +277,21 @@ def main(argv=None) -> int:
             print(line)
             lines.append(line)
 
-    output_dir = os.path.join(HERE, "output")
-    os.makedirs(output_dir, exist_ok=True)
-    with open(os.path.join(output_dir, "speedup.txt"), "a") as handle:
-        handle.write("\n".join(lines) + "\n")
+    _record(
+        lines,
+        {
+            "mode": "seed-vs-new",
+            "experiment": label,
+            "scale": args.scale,
+            "seed_label": seed_label,
+            "seed_s": seed_elapsed,
+            "new_s": new_elapsed,
+            "speedup": ratio,
+            "per_figure": per_figure,
+            "new_stats": new_stats,
+            "new_hit_rate": _hit_rate(new_stats),
+        },
+    )
     return 0
 
 

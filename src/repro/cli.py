@@ -7,12 +7,23 @@ Examples::
     python -m repro compare --workload sci-em3d --scale demo
     python -m repro experiment fig9 --scale bench --output fig9.txt
     python -m repro sweep-sampling --workload web-apache --scale demo
+    python -m repro cache warm fig4 --scale bench
+    python -m repro cache stats
+
+Every simulation command works through the persistent artifact store
+(``--store-dir``, default ``$REPRO_STORE_DIR`` or ``~/.cache/
+repro-stms``), so a figure regenerated twice — even across separate
+invocations — is served from disk the second time.  ``--no-cache``
+forces full recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis.report import format_percent, format_table
@@ -24,7 +35,46 @@ from repro.sim.runner import (
     make_stms_config,
     run_workload,
 )
+from repro.sim.session import SimSession, set_session
+from repro.sim.store import ArtifactStore, default_store_dir
 from repro.workloads.suite import SCALES, WORKLOADS, workload_names
+
+
+@contextlib.contextmanager
+def _session_scope(args: argparse.Namespace):
+    """Install the CLI-selected session (store + enabled) globally.
+
+    ``--no-cache`` (or ``REPRO_SIM_CACHE=0``) disables both cache tiers;
+    otherwise the artifact store at ``--store-dir`` backs the session.
+    The choice is exported through the environment so pool workers of
+    the parallel runner join the same store, and both the environment
+    and the previous global session are restored on exit.
+    """
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_SIM_CACHE", "REPRO_STORE_DIR")
+    }
+    no_cache = (
+        getattr(args, "no_cache", False)
+        or os.environ.get("REPRO_SIM_CACHE", "1") == "0"
+    )
+    if no_cache:
+        os.environ["REPRO_SIM_CACHE"] = "0"
+        session = SimSession(enabled=False)
+    else:
+        store_dir = getattr(args, "store_dir", None) or default_store_dir()
+        os.environ["REPRO_STORE_DIR"] = store_dir
+        session = SimSession(enabled=True, store=ArtifactStore(store_dir))
+    previous = set_session(session)
+    try:
+        yield session
+    finally:
+        set_session(previous)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def _result_rows(results: "dict[PrefetcherKind, SimResult]") -> list:
@@ -99,22 +149,26 @@ def cmd_run(args: argparse.Namespace) -> int:
             cores=args.cores,
             sampling_probability=args.sampling,
         )
-    result = run_workload(
-        args.workload,
-        kind,
-        scale=args.scale,
-        cores=args.cores,
-        seed=args.seed,
-        stms_config=stms_config,
-    )
+    with _session_scope(args) as session:
+        result = run_workload(
+            args.workload,
+            kind,
+            scale=args.scale,
+            cores=args.cores,
+            seed=args.seed,
+            stms_config=stms_config,
+            session=session,
+        )
     _print_results(args.workload, {kind: result})
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    results = compare_prefetchers(
-        args.workload, scale=args.scale, cores=args.cores, seed=args.seed
-    )
+    with _session_scope(args) as session:
+        results = compare_prefetchers(
+            args.workload, scale=args.scale, cores=args.cores,
+            seed=args.seed, session=session,
+        )
     _print_results(args.workload, results)
     return 0
 
@@ -127,7 +181,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         options["runner"] = ExperimentRunner(
             max_workers=args.jobs, parallel=args.jobs > 1
         )
-    result = run_experiment(args.name, **options)
+    with _session_scope(args) as session:
+        result = run_experiment(args.name, session=session, **options)
     rendered = result.render()
     if args.output:
         with open(args.output, "w") as handle:
@@ -141,12 +196,162 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_sweep_sampling(args: argparse.Namespace) -> int:
     from repro.experiments import fig8_sampling
 
-    result = fig8_sampling.run(
-        scale=args.scale, cores=args.cores, seed=args.seed,
-        workloads=(args.workload,),
-    )
+    with _session_scope(args) as session:
+        result = fig8_sampling.run(
+            scale=args.scale, cores=args.cores, seed=args.seed,
+            workloads=(args.workload,), session=session,
+        )
     print(result.render())
     return 0 if result.passed else 1
+
+
+# ----------------------------------------------------------------------
+# The `cache` subcommand group: ls / stats / gc / warm.
+# ----------------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace) -> ArtifactStore:
+    return ArtifactStore(args.store_dir or default_store_dir())
+
+
+def _format_size(count: int) -> str:
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.1f}M"
+    if count >= 1024:
+        return f"{count / 1024:.1f}K"
+    return f"{count}B"
+
+
+def _entry_label(entry) -> str:
+    """Human tag for one store entry (best-effort, never raises)."""
+    try:
+        if entry.kind == "result":
+            import json
+
+            with open(entry.path, "rb") as handle:
+                record = json.load(handle)
+            return (
+                f"{record.get('workload', '?')} / "
+                f"{record.get('prefetcher', '?')}"
+            )
+        import numpy as np
+
+        return str(np.load(entry.path)["meta_name"][0])
+    except Exception:
+        return "(unreadable)"
+
+
+def cmd_cache_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    entries = store.entries()
+    now = time.time()
+    rows = [
+        [
+            entry.kind,
+            entry.digest[:12],
+            _format_size(entry.size_bytes),
+            f"{max(0.0, now - entry.mtime):.0f}s",
+            _entry_label(entry),
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["kind", "digest", "size", "age", "artifact"],
+            rows,
+            title=f"{store.root} ({len(entries)} entries, LRU first)",
+        )
+    )
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    info = store.describe()
+    cap = (
+        _format_size(info["max_bytes"])
+        if info["max_bytes"] is not None
+        else "unbounded"
+    )
+    rows = [
+        ["store", info["root"]],
+        ["schema", str(info["schema"])],
+        ["traces", f"{info['traces']} ({_format_size(info['trace_bytes'])})"],
+        [
+            "results",
+            f"{info['results']} ({_format_size(info['result_bytes'])})",
+        ],
+        ["total", _format_size(info["total_bytes"])],
+        ["size cap", cap],
+    ]
+    print(format_table(["field", "value"], rows, title="Artifact store"))
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    max_bytes = (
+        int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
+    )
+    if max_bytes is None and store.max_bytes is None:
+        print(
+            "no size cap given: pass --max-mb N (or --clear, or set "
+            "REPRO_STORE_MAX_MB)"
+        )
+        return 1
+    evicted = store.gc(max_bytes)
+    print(
+        f"evicted {evicted} entries; {_format_size(store.total_bytes())} "
+        f"remain in {store.root}"
+    )
+    return 0
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    """Populate the store by running a figure or workload once."""
+    started = time.perf_counter()
+    with _session_scope(args) as session:
+        if args.target in EXPERIMENTS:
+            options: dict = {
+                "scale": args.scale,
+                "cores": args.cores,
+                "seed": args.seed,
+                "session": session,
+            }
+            if args.jobs is not None:
+                from repro.sim.runner import ExperimentRunner
+
+                options["runner"] = ExperimentRunner(
+                    max_workers=args.jobs, parallel=args.jobs > 1
+                )
+            run_experiment(args.target, **options)
+        else:
+            compare_prefetchers(
+                args.target,
+                scale=args.scale,
+                cores=args.cores,
+                seed=args.seed,
+                session=session,
+            )
+        elapsed = time.perf_counter() - started
+        stats = session.stats
+        store = session.store
+    print(
+        f"warmed {args.target} @ {args.scale} in {elapsed:.1f}s: "
+        f"{stats.sim_misses} simulated, {stats.sim_hits} memory hits, "
+        f"{stats.sim_store_hits} store hits "
+        f"({stats.trace_store_hits} trace store hits)"
+    )
+    if store is not None:
+        print(
+            f"store {store.root}: {store.stats.writes} writes, "
+            f"{_format_size(store.total_bytes())} total"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,6 +368,22 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--cores", type=int, default=4)
         sub.add_argument("--seed", type=int, default=7)
+        add_cache_options(sub)
+
+    def add_cache_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="bypass the session memo and the artifact store "
+            "(forces full recomputation)",
+        )
+        add_store_dir(sub)
+
+    def add_store_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store-dir", default=None, metavar="DIR",
+            help="artifact-store directory (default: $REPRO_STORE_DIR "
+            "or ~/.cache/repro-stms)",
+        )
 
     sub = subparsers.add_parser(
         "list-workloads", help="show the workload suite"
@@ -211,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the simulation grid "
         "(default: REPRO_JOBS or the CPU count)",
     )
+    add_cache_options(sub)
     sub.set_defaults(entry=cmd_experiment)
 
     sub = subparsers.add_parser(
@@ -220,6 +442,58 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(WORKLOADS))
     add_common(sub)
     sub.set_defaults(entry=cmd_sweep_sampling)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and manage the persistent artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    sub = cache_sub.add_parser(
+        "ls", help="list persisted artifacts (least recently used first)"
+    )
+    add_store_dir(sub)
+    sub.set_defaults(entry=cmd_cache_ls)
+
+    sub = cache_sub.add_parser(
+        "stats", help="entry counts and sizes of the store"
+    )
+    add_store_dir(sub)
+    sub.set_defaults(entry=cmd_cache_stats)
+
+    sub = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries past a size cap"
+    )
+    sub.add_argument(
+        "--max-mb", type=float, default=None,
+        help="target size in MiB (default: REPRO_STORE_MAX_MB)",
+    )
+    sub.add_argument(
+        "--clear", action="store_true", help="remove every entry"
+    )
+    add_store_dir(sub)
+    sub.set_defaults(entry=cmd_cache_gc)
+
+    sub = cache_sub.add_parser(
+        "warm", help="populate the store by running a figure or workload"
+    )
+    sub.add_argument(
+        "target",
+        choices=sorted(EXPERIMENTS) + sorted(WORKLOADS),
+        help="experiment id (all its simulations) or workload name "
+        "(baseline/ideal/STMS comparison)",
+    )
+    sub.add_argument(
+        "--scale", default="bench", choices=sorted(SCALES),
+        help="scale preset (default: bench)",
+    )
+    sub.add_argument("--cores", type=int, default=4)
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for experiment targets",
+    )
+    add_store_dir(sub)
+    sub.set_defaults(entry=cmd_cache_warm)
 
     return parser
 

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.sim.metrics import SimResult
 from repro.sim.runner import ExperimentRunner, SimJob
+from repro.sim.session import SimSession
 
 _DEFAULT_RUNNER: "ExperimentRunner | None" = None
 
@@ -33,9 +34,15 @@ def get_runner(runner: "ExperimentRunner | None" = None) -> ExperimentRunner:
 def simulate_jobs(
     jobs: "Sequence[SimJob]",
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> "list[SimResult]":
-    """Fan a job list out on the shared runner (order-preserving)."""
-    return get_runner(runner).map(jobs)
+    """Fan a job list out on the shared runner (order-preserving).
+
+    ``session`` selects the cache tiers (memory + optional artifact
+    store); None uses the process-global session.  The CLI threads its
+    ``--no-cache``/``--store-dir`` choice through this parameter.
+    """
+    return get_runner(runner).map(jobs, session=session)
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.sim.runner import (
     SimJob,
     job_options,
 )
+from repro.sim.session import SimSession
 
 #: Default entry caps (scaled stand-ins for the paper's 10^4..10^7 axis).
 DEFAULT_CAPS = (256, 1024, 4096, 16384, 65536)
@@ -38,6 +39,7 @@ def run(
     workloads: "tuple[str, ...] | None" = None,
     caps: "tuple[int, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     entry_caps = caps if caps is not None else DEFAULT_CAPS
@@ -54,7 +56,7 @@ def run(
         for name in names
         for cap in entry_caps
     ]
-    results = simulate_jobs(jobs, runner)
+    results = simulate_jobs(jobs, runner, session)
     per_workload: dict[str, list[float]] = {name: [] for name in names}
     for job, result in zip(jobs, results):
         per_workload[job.workload].append(result.coverage.coverage)

@@ -20,6 +20,7 @@ from repro.prefetchers.traffic_models import (
     prior_design_overheads,
 )
 from repro.sim.runner import ExperimentRunner, PrefetcherKind
+from repro.sim.session import SimSession
 
 DEFAULT_WORKLOADS = ("web-apache", "web-zeus", "oltp-db2", "oltp-oracle")
 
@@ -30,6 +31,7 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     grid = get_runner(runner).run_grid(
@@ -38,6 +40,7 @@ def run(
         scale=scale,
         cores=cores,
         seed=seed,
+        session=session,
     )
     mlp_by_workload = {
         name: max(1.0, grid[(name, PrefetcherKind.BASELINE)].mlp)

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     get_runner,
 )
 from repro.sim.runner import ExperimentRunner, PrefetcherKind
+from repro.sim.session import SimSession
 from repro.workloads.suite import FIGURE_ORDER, WORKLOADS
 
 
@@ -26,6 +27,7 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
     grid = get_runner(runner).run_grid(
@@ -34,6 +36,7 @@ def run(
         scale=scale,
         cores=cores,
         seed=seed,
+        session=session,
     )
     coverage: dict[str, float] = {}
     speedup: dict[str, float] = {}

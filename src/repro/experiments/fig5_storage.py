@@ -27,6 +27,7 @@ from repro.sim.runner import (
     SimJob,
     job_options,
 )
+from repro.sim.session import SimSession
 from repro.workloads.suite import WORKLOADS, get_scale
 
 DEFAULT_WORKLOADS = ("web-apache", "oltp-db2", "sci-em3d", "sci-ocean")
@@ -40,6 +41,7 @@ def _sweep(
     history_sizes: "tuple[int, ...] | None" = None,
     index_sizes: "tuple[int, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> "dict[str, list[float]]":
     """Run one parameter sweep; exactly one of the axes must be given."""
     preset = get_scale(scale)
@@ -70,7 +72,7 @@ def _sweep(
                     stms_overrides=overrides,
                 )
             )
-    results = simulate_jobs(jobs, runner)
+    results = simulate_jobs(jobs, runner, session)
     coverage: dict[str, list[float]] = {name: [] for name in names}
     for job, result in zip(jobs, results):
         coverage[job.workload].append(result.coverage.coverage)
@@ -106,11 +108,13 @@ def run_history(
     workloads: "tuple[str, ...] | None" = None,
     sizes: "tuple[int, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = sizes if sizes is not None else default_history_sizes(scale)
     coverage = _sweep(
-        names, scale, cores, seed, history_sizes=points, runner=runner
+        names, scale, cores, seed, history_sizes=points, runner=runner,
+        session=session,
     )
 
     rendered = series_table(
@@ -179,11 +183,13 @@ def run_index(
     workloads: "tuple[str, ...] | None" = None,
     sizes: "tuple[int, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = sizes if sizes is not None else default_index_sizes(scale)
     coverage = _sweep(
-        names, scale, cores, seed, index_sizes=points, runner=runner
+        names, scale, cores, seed, index_sizes=points, runner=runner,
+        session=session,
     )
 
     rendered = series_table(

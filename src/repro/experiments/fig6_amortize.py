@@ -30,6 +30,7 @@ from repro.sim.runner import (
     SimJob,
     job_options,
 )
+from repro.sim.session import SimSession
 
 DEFAULT_WORKLOADS = ("web-apache", "web-zeus", "oltp-db2", "oltp-oracle")
 DEFAULT_DEPTHS = (1, 2, 4, 8, 16)
@@ -42,6 +43,7 @@ def run_cdf(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     """Left graph: streamed-block CDF vs. stream length."""
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
@@ -51,6 +53,7 @@ def run_cdf(
         scale=scale,
         cores=cores,
         seed=seed,
+        session=session,
         collect_miss_log=True,
     )
 
@@ -114,6 +117,7 @@ def run_depth(
     workloads: "tuple[str, ...] | None" = None,
     depths: "tuple[int, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     """Right graph: coverage loss vs. fixed prefetch depth."""
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
@@ -140,7 +144,7 @@ def run_depth(
                     ),
                 )
             )
-    results = simulate_jobs(jobs, runner)
+    results = simulate_jobs(jobs, runner, session)
     stride = 1 + len(depth_points)
     loss: dict[str, list[float]] = {}
     for i, name in enumerate(names):

@@ -22,6 +22,7 @@ from repro.sim.runner import (
     SimJob,
     job_options,
 )
+from repro.sim.session import SimSession
 from repro.workloads.suite import FIGURE_ORDER
 
 SAMPLING_POINTS = (1.0, 0.125)
@@ -33,6 +34,7 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
 
@@ -49,7 +51,7 @@ def run(
         for name in names
         for probability in SAMPLING_POINTS
     ]
-    results = simulate_jobs(jobs, runner)
+    results = simulate_jobs(jobs, runner, session)
     rows = []
     breakdowns: dict[str, dict[float, dict[str, float]]] = {}
     for job, result in zip(jobs, results):

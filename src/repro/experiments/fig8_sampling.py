@@ -23,6 +23,7 @@ from repro.sim.runner import (
     SimJob,
     job_options,
 )
+from repro.sim.session import SimSession
 
 DEFAULT_WORKLOADS = ("web-apache", "oltp-db2", "sci-em3d", "sci-ocean")
 DEFAULT_PROBABILITIES = (0.01, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0)
@@ -35,6 +36,7 @@ def run(
     workloads: "tuple[str, ...] | None" = None,
     probabilities: "tuple[float, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = (
@@ -53,7 +55,7 @@ def run(
         for name in names
         for probability in points
     ]
-    results = simulate_jobs(jobs, runner)
+    results = simulate_jobs(jobs, runner, session)
     coverage: dict[str, list[float]] = {name: [] for name in names}
     traffic: dict[str, list[float]] = {name: [] for name in names}
     update_traffic: dict[str, list[float]] = {name: [] for name in names}

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     get_runner,
 )
 from repro.sim.runner import ExperimentRunner, PrefetcherKind
+from repro.sim.session import SimSession
 from repro.workloads.suite import FIGURE_ORDER, WORKLOADS
 
 
@@ -27,6 +28,7 @@ def run(
     seed: int = 7,
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
 ) -> ExperimentResult:
     names = workloads if workloads is not None else FIGURE_ORDER
 
@@ -40,6 +42,7 @@ def run(
         scale=scale,
         cores=cores,
         seed=seed,
+        session=session,
     )
     rows = []
     data: dict[str, dict[str, float]] = {}

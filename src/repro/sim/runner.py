@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Sequence
 
@@ -37,7 +37,8 @@ from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
 from repro.prefetchers.markov import MarkovPrefetcher
 from repro.sim.engine import SimConfig, TemporalFactory
 from repro.sim.metrics import SimResult
-from repro.sim.session import SimSession, _freeze, get_session
+from repro.sim.session import SessionStats, SimSession, _freeze, get_session
+from repro.sim.store import ArtifactStore, TraceRef, trace_digest
 from repro.workloads.suite import ScalePreset, get_scale
 from repro.workloads.trace import Trace
 
@@ -308,16 +309,61 @@ def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
 
 def _run_bundle(
     jobs: "list[SimJob]",
-) -> "tuple[list[SimResult], dict]":
+    store_root: "str | None" = None,
+    trace_ref: "TraceRef | None" = None,
+    enabled: bool = True,
+) -> "tuple[list[SimResult], dict, dict]":
     """Worker entry point: run a bundle of jobs sharing one trace.
 
+    The parent ships the caller session's ``enabled`` state (a
+    disabled session must force full recomputation in workers too, not
+    fall back to the fork-inherited global memo) and the shared
+    artifact store's root (so this worker reads and writes the same
+    persistent tier instead of regenerating traces and re-simulating
+    shared baselines) plus a :class:`~repro.sim.store.TraceRef` — hash
+    and path of the bundle's trace — which seeds the session directly
+    when the file exists.
+
     Besides the ordered results, the worker ships back its session's
-    result-cache entries so the parent can adopt them — without this,
-    cross-``map()`` memoization would only exist on the serial path.
+    result-cache entries (so the parent can adopt them — without this,
+    cross-``map()`` memoization would only exist on the serial path)
+    and its cache-counter deltas, which the parent folds into its own
+    stats so hit/miss observability spans the whole fan-out.
     """
-    session = get_session()
+    if not enabled:
+        session = SimSession(enabled=False)
+    else:
+        session = get_session()
+        if not session.enabled:
+            # The caller's session is enabled but this process's global
+            # one is not (e.g. inherited REPRO_SIM_CACHE=0): honor the
+            # caller with a local enabled session.
+            session = SimSession(enabled=True, store=None)
+        if store_root is not None and (
+            session.store is None
+            or session.store.root != os.path.abspath(store_root)
+        ):
+            try:
+                session.attach_store(ArtifactStore(store_root))
+            except OSError:
+                pass
+    before = replace(session.stats)
+    if trace_ref is not None and jobs:
+        first = jobs[0]
+        session.prime_trace(
+            first.workload,
+            first.scale,
+            first.cores,
+            first.seed,
+            first.records_per_core,
+            trace_ref,
+        )
     results = [run_job(job, session) for job in jobs]
-    return results, session.export_results()
+    stats_delta = {
+        f.name: getattr(session.stats, f.name) - getattr(before, f.name)
+        for f in fields(SessionStats)
+    }
+    return results, session.export_results(), stats_delta
 
 
 def _default_workers() -> "tuple[int, bool]":
@@ -359,44 +405,79 @@ class ExperimentRunner:
             parallel if parallel is not None else default_parallel
         ) and self.max_workers > 1
 
-    def map(self, jobs: "Sequence[SimJob]") -> "list[SimResult]":
-        """Run all jobs, preserving order; duplicates are free."""
+    def map(
+        self,
+        jobs: "Sequence[SimJob]",
+        session: "SimSession | None" = None,
+    ) -> "list[SimResult]":
+        """Run all jobs, preserving order; duplicates are free.
+
+        ``session`` (default: the process-global one) provides both
+        cache tiers.  When it carries an artifact store, worker
+        processes open the same store and receive trace references
+        instead of regenerating traces, so warm runs are served from
+        disk across process boundaries.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
+        if session is None:
+            session = get_session()
         groups: "dict[tuple, list[int]]" = {}
         for index, job in enumerate(jobs):
             groups.setdefault(job.trace_key(), []).append(index)
-        bundles = list(groups.values())
-        if not self.parallel or len(bundles) < 2:
-            return [run_job(job) for job in jobs]
+        if not self.parallel or len(groups) < 2:
+            return [run_job(job, session) for job in jobs]
         results: "list[SimResult | None]" = [None] * len(jobs)
+        store = session.store if session.enabled else None
+        store_root = store.root if store is not None else None
+        stats_before = replace(session.stats)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
         try:
-            workers = min(self.max_workers, len(bundles))
-            session = get_session()
+            workers = min(self.max_workers, len(groups))
             with ProcessPoolExecutor(
                 workers, mp_context=context
             ) as pool:
                 futures = [
                     (indices, pool.submit(
-                        _run_bundle, [jobs[i] for i in indices]
+                        _run_bundle,
+                        [jobs[i] for i in indices],
+                        store_root,
+                        store.trace_ref(trace_digest(trace_key))
+                        if store is not None
+                        else None,
+                        session.enabled,
                     ))
-                    for indices in bundles
+                    for trace_key, indices in groups.items()
                 ]
                 for indices, future in futures:
-                    bundle_results, cache_entries = future.result()
+                    bundle_results, cache_entries, stats_delta = (
+                        future.result()
+                    )
                     # Adopt the workers' memo entries so later serial
-                    # runs (and later map() calls) reuse this work.
+                    # runs (and later map() calls) reuse this work, and
+                    # fold their counters in so this session's stats
+                    # describe the whole fan-out.
                     session.adopt_results(cache_entries)
+                    for name, delta in stats_delta.items():
+                        setattr(
+                            session.stats,
+                            name,
+                            getattr(session.stats, name, 0) + delta,
+                        )
                     for i, result in zip(indices, bundle_results):
                         results[i] = result
         except (OSError, PermissionError, RuntimeError, ImportError):
-            # Platform refused subprocesses; run everything here.
-            return [run_job(job) for job in jobs]
+            # Platform refused subprocesses; run everything here.  Any
+            # worker deltas already folded in would double-count once
+            # the serial pass re-tallies the same jobs — roll them back
+            # (adopted results stay: they are valid and make the serial
+            # pass cheaper).
+            session.stats = stats_before
+            return [run_job(job, session) for job in jobs]
         return results  # type: ignore[return-value]
 
     def run_grid(
@@ -406,6 +487,7 @@ class ExperimentRunner:
         scale: "str | ScalePreset" = "bench",
         cores: int = 4,
         seed: int = 7,
+        session: "SimSession | None" = None,
         **job_fields: object,
     ) -> "dict[tuple[str, PrefetcherKind], SimResult]":
         """Fan the (workload x kind) grid out and collect results."""
@@ -421,7 +503,7 @@ class ExperimentRunner:
             for workload in workloads
             for kind in kinds
         ]
-        results = self.map(jobs)
+        results = self.map(jobs, session=session)
         return {
             (job.workload, job.kind): result
             for job, result in zip(jobs, results)

@@ -1,47 +1,71 @@
-"""Simulation session: content-keyed memoization of traces and results.
+"""Simulation session: two-tier (memory -> disk) caching of artifacts.
 
 Every figure experiment re-simulates baselines and regenerates traces
 that other experiments already produced.  A :class:`SimSession` makes
-that repetition free *within a process*: traces are keyed by their
-generation recipe, simulation results by the content hash of the trace
-plus the full machine/prefetcher configuration.  Simulations are
-deterministic functions of those keys (generators and samplers are
-seeded), so memoization is semantics-preserving.
+that repetition free: traces are keyed by their generation recipe,
+simulation results by the content hash of the trace plus the full
+machine/prefetcher configuration.  Simulations are deterministic
+functions of those keys (generators and samplers are seeded), so
+memoization is semantics-preserving.
+
+Two tiers back the session:
+
+* **memory** — the process-local dictionaries (optionally LRU-capped
+  via ``max_memory_results``); hits return the *same objects* handed to
+  earlier callers, so treat :class:`~repro.sim.metrics.SimResult` as
+  immutable (every in-repo consumer only reads it).
+* **disk** — an optional :class:`~repro.sim.store.ArtifactStore`
+  shared across processes: pool workers, successive CLI runs, and CI
+  jobs all read and write the same content-addressed entries.  The
+  store attaches automatically when ``REPRO_STORE_DIR`` is set.
 
 The module-level session (:func:`get_session`) is shared by
 :mod:`repro.sim.runner` and therefore by every experiment driver, the
 CLI, and the benchmarks; each worker process of the parallel
 :class:`~repro.sim.runner.ExperimentRunner` gets its own.
 
-Results returned from the cache are the *same objects* handed to
-earlier callers — treat :class:`~repro.sim.metrics.SimResult` as
-immutable (every in-repo consumer only reads it).  Set the environment
-variable ``REPRO_SIM_CACHE=0`` (or construct ``SimSession(enabled=
-False)``) to force every run to simulate.
+Set ``REPRO_SIM_CACHE=0`` (or construct ``SimSession(enabled=False)``)
+to force every run to generate and simulate from scratch — both tiers
+are bypassed, and the results are bit-identical to the cached path.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
 from repro.sim.engine import SimConfig, Simulator, resolve_engine
 from repro.sim.metrics import SimResult
+from repro.sim.store import (
+    ArtifactStore,
+    TraceRef,
+    load_trace_ref,
+    result_digest,
+    trace_digest,
+)
 from repro.workloads.suite import ScalePreset, generate, get_scale
 from repro.workloads.trace import Trace
 
 
 @dataclass
 class SessionStats:
-    """Cache behaviour counters (observability for tests and tuning)."""
+    """Cache behaviour counters (observability for tests and tuning).
+
+    ``*_hits`` count memory-tier hits, ``*_store_hits`` disk-tier hits,
+    and ``*_misses`` actual generations/simulations.
+    """
 
     trace_hits: int = 0
+    trace_store_hits: int = 0
     trace_misses: int = 0
     sim_hits: int = 0
+    sim_store_hits: int = 0
     sim_misses: int = 0
+    memory_evictions: int = 0
 
 
 def _freeze(value):
@@ -83,16 +107,42 @@ def trace_fingerprint(trace: Trace) -> str:
     return fingerprint
 
 
-class SimSession:
-    """Process-wide memo of generated traces and simulation results."""
+def trace_recipe_key(
+    workload: str,
+    preset: ScalePreset,
+    cores: int,
+    seed: int,
+    records_per_core: "int | None",
+) -> tuple:
+    """The canonical trace cache key; equals ``SimJob.trace_key()``."""
+    return (workload, _freeze(preset), cores, seed, records_per_core)
 
-    def __init__(self, enabled: "bool | None" = None) -> None:
+
+class SimSession:
+    """Two-tier (memory -> disk) memo of traces and simulation results."""
+
+    def __init__(
+        self,
+        enabled: "bool | None" = None,
+        store: "ArtifactStore | None | str" = "auto",
+        max_memory_results: "int | None" = None,
+    ) -> None:
         if enabled is None:
             enabled = os.environ.get("REPRO_SIM_CACHE", "1") != "0"
         self.enabled = enabled
+        if store == "auto":
+            store = ArtifactStore.from_env() if enabled else None
+        #: The persistent tier; None keeps the session process-local.
+        #: A disabled session never touches a store (full recompute).
+        self.store: "ArtifactStore | None" = store if enabled else None
+        self.max_memory_results = max_memory_results
         self.stats = SessionStats()
         self._traces: "dict[tuple, Trace]" = {}
-        self._results: "dict[tuple, SimResult]" = {}
+        self._results: "OrderedDict[tuple, SimResult]" = OrderedDict()
+
+    def attach_store(self, store: "ArtifactStore | None") -> None:
+        """Set the disk tier (used by pool workers joining a run)."""
+        self.store = store if self.enabled else None
 
     # ------------------------------------------------------------------
     # Trace generation.
@@ -106,14 +156,22 @@ class SimSession:
         seed: int = 7,
         records_per_core: "int | None" = None,
     ) -> Trace:
-        """Generate (or reuse) a suite workload trace."""
+        """Generate (or reuse, from either tier) a suite workload trace."""
         preset = get_scale(scale)
-        key = (workload, _freeze(preset), cores, seed, records_per_core)
+        key = trace_recipe_key(
+            workload, preset, cores, seed, records_per_core
+        )
         if self.enabled:
             cached = self._traces.get(key)
             if cached is not None:
                 self.stats.trace_hits += 1
                 return cached
+            if self.store is not None:
+                loaded = self.store.load_trace(trace_digest(key))
+                if loaded is not None:
+                    self.stats.trace_store_hits += 1
+                    self._traces[key] = loaded
+                    return loaded
         self.stats.trace_misses += 1
         trace = generate(
             workload,
@@ -124,7 +182,38 @@ class SimSession:
         )
         if self.enabled:
             self._traces[key] = trace
+            if self.store is not None:
+                self.store.save_trace(trace_digest(key), trace)
         return trace
+
+    def prime_trace(
+        self,
+        workload: str,
+        scale: "str | ScalePreset",
+        cores: int,
+        seed: int,
+        records_per_core: "int | None",
+        ref: TraceRef,
+    ) -> bool:
+        """Seed the memory tier from a shipped :class:`TraceRef`.
+
+        Workers of the parallel runner receive (hash, path) references
+        instead of regenerating their bundle's trace; a missing or
+        unreadable file simply leaves the normal lookup path in charge.
+        """
+        if not self.enabled:
+            return False
+        key = trace_recipe_key(
+            workload, get_scale(scale), cores, seed, records_per_core
+        )
+        if key in self._traces:
+            return True
+        trace = load_trace_ref(ref)
+        if trace is None:
+            return False
+        self.stats.trace_store_hits += 1
+        self._traces[key] = trace
+        return True
 
     # ------------------------------------------------------------------
     # Simulation.
@@ -138,7 +227,7 @@ class SimSession:
         temporal_factory,
         label: str,
     ) -> SimResult:
-        """Run (or reuse) one simulation.
+        """Run (or reuse, from either tier) one simulation.
 
         ``temporal_key`` must uniquely describe the temporal-prefetcher
         configuration that ``temporal_factory`` builds (the runner
@@ -160,13 +249,31 @@ class SimSession:
         cached = self._results.get(key)
         if cached is not None:
             self.stats.sim_hits += 1
+            self._results.move_to_end(key)
             return cached
+        if self.store is not None:
+            loaded = self.store.load_result(result_digest(key))
+            if loaded is not None:
+                self.stats.sim_store_hits += 1
+                self._remember(key, loaded)
+                return loaded
         self.stats.sim_misses += 1
         result = Simulator(sim_config).run(
             trace, temporal_factory, label=label
         )
-        self._results[key] = result
+        self._remember(key, result)
+        if self.store is not None:
+            self.store.save_result(result_digest(key), result)
         return result
+
+    def _remember(self, key: tuple, result: SimResult) -> None:
+        """Admit a result to the memory tier, evicting LRU past the cap."""
+        self._results[key] = result
+        self._results.move_to_end(key)
+        if self.max_memory_results is not None:
+            while len(self._results) > self.max_memory_results:
+                self._results.popitem(last=False)
+                self.stats.memory_evictions += 1
 
     def export_results(self) -> "dict[tuple, SimResult]":
         """Snapshot of the result cache (for cross-process adoption)."""
@@ -181,10 +288,11 @@ class SimSession:
         so entries from a worker process are valid here verbatim.
         """
         if self.enabled:
-            self._results.update(entries)
+            for key, result in entries.items():
+                self._remember(key, result)
 
     def clear(self) -> None:
-        """Drop all cached traces and results."""
+        """Drop all memory-tier entries (the disk store is untouched)."""
         self._traces.clear()
         self._results.clear()
 

@@ -1,0 +1,584 @@
+"""Content-addressed on-disk artifact store: the persistent cache tier.
+
+:class:`~repro.sim.session.SimSession` memoizes traces and results only
+within a process; this module gives those artifacts a *lifecycle* that
+crosses process boundaries — admission (write-through from the session),
+persistence (atomic renames into a content-addressed layout), retrieval
+(corruption-tolerant reads that degrade to recompute), and eviction
+(LRU size-capped GC).  The same store directory is shared by pool
+workers, successive CLI invocations, and CI jobs, so the second run of
+any figure is served from disk instead of re-simulated.
+
+Layout under the store root::
+
+    schema.json            format stamp; a mismatch invalidates the store
+    traces/<digest>.npz    ``Trace.save`` archives, keyed by recipe hash
+    results/<digest>.json  versioned ``SimResult`` records
+
+Keys are digests of the session's existing content keys (trace recipes
+and ``trace fingerprint + full machine/prefetcher configuration``), so
+an entry written by any process is valid in every other.  Every read
+path tolerates torn, truncated, or stale entries: a bad file is dropped
+and the caller recomputes — the store can never make a result wrong,
+only slower.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+import zipfile
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.memory.traffic import TrafficBreakdown
+from repro.prefetchers.base import PrefetcherStats
+from repro.sim.metrics import CoverageCounts, SimResult
+from repro.workloads.trace import Trace
+
+#: Bump whenever the on-disk format of entries changes **or** the
+#: simulator's behavior changes such that previously persisted results
+#: are no longer what a fresh run would produce (engine fixes,
+#: timing-model changes, trace-generator changes...).  The version is
+#: part of every content digest, so a bump orphans all old entries;
+#: stores whose root stamp differs are additionally cleared on open.
+SCHEMA_VERSION = 1
+
+_SCHEMA_FILE = "schema.json"
+_TMP_PREFIX = ".tmp-"
+
+#: Errors that mean "this entry is unreadable", as opposed to bugs.
+#: ``FileNotFoundError`` is handled separately (a plain miss).
+_CORRUPT_ERRORS = (
+    OSError,
+    ValueError,  # includes json.JSONDecodeError and bad npz payloads
+    KeyError,
+    TypeError,
+    EOFError,
+    zipfile.BadZipFile,
+)
+
+
+def default_store_dir() -> str:
+    """``$REPRO_STORE_DIR``, else a per-user cache directory."""
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-stms")
+
+
+def key_digest(domain: str, key: object) -> str:
+    """Stable content digest of a cache key.
+
+    ``key`` must be a tree of primitives (what ``session._freeze``
+    produces): its ``repr`` is then deterministic across processes,
+    unlike ``hash()`` which is salted per interpreter.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{domain}:{SCHEMA_VERSION}".encode())
+    digest.update(b"\x00")
+    digest.update(repr(key).encode())
+    return digest.hexdigest()
+
+
+def trace_digest(trace_key: object) -> str:
+    """Digest of a trace generation recipe (``SimJob.trace_key()``)."""
+    return key_digest("trace", trace_key)
+
+
+def result_digest(result_key: object) -> str:
+    """Digest of a full simulation key (fingerprint + configuration)."""
+    return key_digest("result", result_key)
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A shippable reference to a persisted trace (hash + path).
+
+    The parallel runner sends these to worker processes instead of
+    having every worker regenerate the bundle's trace from its recipe.
+    """
+
+    digest: str
+    path: str
+
+
+def load_trace_ref(ref: TraceRef) -> "Trace | None":
+    """Resolve a :class:`TraceRef`, tolerating missing/corrupt files."""
+    try:
+        trace = Trace.load(ref.path)
+    except FileNotFoundError:
+        return None
+    except _CORRUPT_ERRORS:
+        return None
+    try:
+        # Reads refresh recency so LRU GC never evicts the traces the
+        # parallel workers are actively being handed references to.
+        os.utime(ref.path)
+    except OSError:
+        pass
+    return trace
+
+
+# ----------------------------------------------------------------------
+# SimResult (de)serialization.
+# ----------------------------------------------------------------------
+
+
+def _json_default(value: object) -> object:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def encode_result(result: SimResult) -> dict:
+    """Serialize a :class:`SimResult` into plain JSON types.
+
+    Floats survive a JSON round trip exactly (shortest-repr encoding),
+    so a decoded record compares equal to the freshly computed one —
+    the store-vs-recompute equivalence tests rely on this.
+    """
+    coverage = result.coverage
+    traffic = result.traffic
+    stats = result.prefetcher_stats
+    return {
+        "workload": result.workload,
+        "prefetcher": result.prefetcher,
+        "measured_records": int(result.measured_records),
+        "elapsed_cycles": float(result.elapsed_cycles),
+        "coverage": {
+            f.name: int(getattr(coverage, f.name))
+            for f in fields(CoverageCounts)
+        },
+        "l1_hits": int(result.l1_hits),
+        "victim_hits": int(result.victim_hits),
+        "l2_hits": int(result.l2_hits),
+        "traffic": None
+        if traffic is None
+        else {
+            f.name: float(getattr(traffic, f.name))
+            for f in fields(TrafficBreakdown)
+        },
+        "overhead_per_useful_byte": float(result.overhead_per_useful_byte),
+        "metadata_bytes": int(result.metadata_bytes),
+        "useful_bytes": int(result.useful_bytes),
+        "mlp": float(result.mlp),
+        "prefetcher_stats": None
+        if stats is None
+        else {
+            f.name: int(getattr(stats, f.name))
+            for f in fields(PrefetcherStats)
+        },
+        "dram_utilization": float(result.dram_utilization),
+        "miss_log": None
+        if result.miss_log is None
+        else [[int(block) for block in core] for core in result.miss_log],
+    }
+
+
+def decode_result(payload: dict) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`encode_result` output."""
+    traffic = payload["traffic"]
+    stats = payload["prefetcher_stats"]
+    return SimResult(
+        workload=payload["workload"],
+        prefetcher=payload["prefetcher"],
+        measured_records=payload["measured_records"],
+        elapsed_cycles=payload["elapsed_cycles"],
+        coverage=CoverageCounts(**payload["coverage"]),
+        l1_hits=payload["l1_hits"],
+        victim_hits=payload["victim_hits"],
+        l2_hits=payload["l2_hits"],
+        traffic=None if traffic is None else TrafficBreakdown(**traffic),
+        overhead_per_useful_byte=payload["overhead_per_useful_byte"],
+        metadata_bytes=payload["metadata_bytes"],
+        useful_bytes=payload["useful_bytes"],
+        mlp=payload["mlp"],
+        prefetcher_stats=None
+        if stats is None
+        else PrefetcherStats(**stats),
+        dram_utilization=payload["dram_utilization"],
+        miss_log=payload["miss_log"],
+    )
+
+
+# ----------------------------------------------------------------------
+# The store.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of one store handle's behaviour."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    corrupt_dropped: int = 0
+    schema_invalidated: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.trace_hits + self.result_hits
+
+    @property
+    def misses(self) -> int:
+        return self.trace_misses + self.result_misses
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted artifact, as listed by :meth:`ArtifactStore.entries`."""
+
+    kind: str  # "trace" | "result"
+    digest: str
+    path: str
+    size_bytes: int
+    mtime: float
+
+
+class ArtifactStore:
+    """Content-addressed artifact directory with LRU size-capped GC.
+
+    All writes are atomic (temp file + ``os.replace``), so concurrent
+    writers of the same key cannot produce a torn entry — the last
+    complete write wins.  Reads refresh an entry's mtime, which is the
+    recency signal :meth:`gc` evicts by.
+    """
+
+    def __init__(
+        self, root: str, max_bytes: "int | None" = None
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self.stats = StoreStats()
+        if max_bytes is None:
+            max_bytes = self._max_bytes_from_env()
+        self.max_bytes = max_bytes
+        #: Running size estimate so capped stores don't rescan the
+        #: whole directory on every write (may over-count overwrites;
+        #: drift only triggers GC early, never lets the cap slip).
+        self._running_total: "int | None" = None
+        self._traces_dir = os.path.join(self.root, "traces")
+        self._results_dir = os.path.join(self.root, "results")
+        os.makedirs(self._traces_dir, exist_ok=True)
+        os.makedirs(self._results_dir, exist_ok=True)
+        self._check_schema()
+
+    @classmethod
+    def from_env(cls) -> "ArtifactStore | None":
+        """A store at ``$REPRO_STORE_DIR``, or None when unset."""
+        root = os.environ.get("REPRO_STORE_DIR")
+        if not root:
+            return None
+        try:
+            return cls(root)
+        except OSError:
+            return None
+
+    @staticmethod
+    def _max_bytes_from_env() -> "int | None":
+        raw = os.environ.get("REPRO_STORE_MAX_MB")
+        if not raw:
+            return None
+        try:
+            return int(float(raw) * 1024 * 1024)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Schema stamping.
+    # ------------------------------------------------------------------
+
+    def _schema_path(self) -> str:
+        return os.path.join(self.root, _SCHEMA_FILE)
+
+    def _check_schema(self) -> None:
+        """Validate the store's format stamp; invalidate on mismatch."""
+        stamped: "int | None" = None
+        try:
+            with open(self._schema_path(), "rb") as handle:
+                stamped = json.load(handle).get("schema")
+        except FileNotFoundError:
+            pass
+        except _CORRUPT_ERRORS:
+            pass
+        if stamped == SCHEMA_VERSION:
+            return
+        if self.entries():
+            # Entries written under another (or unknown) format: drop
+            # them all rather than risk misinterpreting old bytes.
+            self.clear()
+            self.stats.schema_invalidated += 1
+        self._atomic_write_bytes(
+            self._schema_path(),
+            json.dumps({"schema": SCHEMA_VERSION}).encode(),
+        )
+
+    # ------------------------------------------------------------------
+    # Paths and atomic writes.
+    # ------------------------------------------------------------------
+
+    def trace_path(self, digest: str) -> str:
+        return os.path.join(self._traces_dir, f"{digest}.npz")
+
+    def result_path(self, digest: str) -> str:
+        return os.path.join(self._results_dir, f"{digest}.json")
+
+    def trace_ref(self, digest: str) -> TraceRef:
+        return TraceRef(digest=digest, path=self.trace_path(digest))
+
+    @staticmethod
+    def _atomic_write_bytes(path: str, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` via temp file + rename."""
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=_TMP_PREFIX)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _drop(self, path: str) -> None:
+        self.stats.corrupt_dropped += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Traces.
+    # ------------------------------------------------------------------
+
+    def load_trace(self, digest: str) -> "Trace | None":
+        """Read a persisted trace; None on miss or unreadable entry."""
+        path = self.trace_path(digest)
+        try:
+            trace = Trace.load(path)
+        except FileNotFoundError:
+            self.stats.trace_misses += 1
+            return None
+        except _CORRUPT_ERRORS:
+            self._drop(path)
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        self._touch(path)
+        return trace
+
+    def save_trace(self, digest: str, trace: Trace) -> bool:
+        """Persist a trace atomically; False on I/O failure."""
+        path = self.trace_path(digest)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._traces_dir, prefix=_TMP_PREFIX
+        )
+        os.close(fd)
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.write_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stats.writes += 1
+        self._auto_gc(path)
+        return True
+
+    # ------------------------------------------------------------------
+    # Results.
+    # ------------------------------------------------------------------
+
+    def load_result(self, digest: str) -> "SimResult | None":
+        """Read a persisted result; None on miss, corruption, or a
+        schema-version mismatch (stale entries invalidate themselves)."""
+        path = self.result_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.result_misses += 1
+            return None
+        except _CORRUPT_ERRORS:
+            self._drop(path)
+            self.stats.result_misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != SCHEMA_VERSION
+            or record.get("kind") != "sim-result"
+        ):
+            self._drop(path)
+            self.stats.schema_invalidated += 1
+            self.stats.result_misses += 1
+            return None
+        try:
+            result = decode_result(record["payload"])
+        except _CORRUPT_ERRORS:
+            self._drop(path)
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        self._touch(path)
+        return result
+
+    def save_result(self, digest: str, result: SimResult) -> bool:
+        """Persist a result atomically; False on I/O failure."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "kind": "sim-result",
+            "workload": result.workload,
+            "prefetcher": result.prefetcher,
+            "payload": encode_result(result),
+        }
+        try:
+            payload = json.dumps(record, default=_json_default).encode()
+            self._atomic_write_bytes(self.result_path(digest), payload)
+        except OSError:
+            self.stats.write_errors += 1
+            return False
+        self.stats.writes += 1
+        self._auto_gc(self.result_path(digest))
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection and garbage collection.
+    # ------------------------------------------------------------------
+
+    def entries(self) -> "list[StoreEntry]":
+        """All persisted artifacts, oldest (least recently used) first."""
+        found: "list[StoreEntry]" = []
+        for kind, directory, suffix in (
+            ("trace", self._traces_dir, ".npz"),
+            ("result", self._results_dir, ".json"),
+        ):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if name.startswith(_TMP_PREFIX) or not name.endswith(
+                    suffix
+                ):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                found.append(
+                    StoreEntry(
+                        kind=kind,
+                        digest=name[: -len(suffix)],
+                        path=path,
+                        size_bytes=status.st_size,
+                        mtime=status.st_mtime,
+                    )
+                )
+        found.sort(key=lambda entry: entry.mtime)
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def gc(self, max_bytes: "int | None" = None) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Returns the number of entries evicted.  With no cap configured
+        and none given, this is a no-op.
+        """
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            return 0
+        entries = self.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        evicted = 0
+        for entry in entries:  # oldest first
+            if total <= cap:
+                break
+            try:
+                os.unlink(entry.path)
+            except OSError:
+                continue
+            total -= entry.size_bytes
+            evicted += 1
+        self.stats.evictions += evicted
+        self._running_total = total  # exact again after a full scan
+        return evicted
+
+    def _auto_gc(self, written_path: str) -> None:
+        """Enforce the size cap after a write, rescanning only when the
+        running estimate says the cap may actually be exceeded."""
+        if self.max_bytes is None:
+            return
+        try:
+            added = os.stat(written_path).st_size
+        except OSError:
+            added = 0
+        if self._running_total is None:
+            self._running_total = self.total_bytes()
+        else:
+            self._running_total += added
+        if self._running_total > self.max_bytes:
+            self.gc(self.max_bytes)
+
+    def clear(self) -> int:
+        """Remove every entry (the store directory itself survives)."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                os.unlink(entry.path)
+            except OSError:
+                continue
+            removed += 1
+        self._running_total = 0
+        return removed
+
+    def describe(self) -> dict:
+        """Summary used by ``repro cache stats`` (and tests)."""
+        entries = self.entries()
+        traces = [e for e in entries if e.kind == "trace"]
+        results = [e for e in entries if e.kind == "result"]
+        return {
+            "root": self.root,
+            "schema": SCHEMA_VERSION,
+            "traces": len(traces),
+            "trace_bytes": sum(e.size_bytes for e in traces),
+            "results": len(results),
+            "result_bytes": sum(e.size_bytes for e in results),
+            "total_bytes": sum(e.size_bytes for e in entries),
+            "max_bytes": self.max_bytes,
+            "age_seconds": (
+                time.time() - min(e.mtime for e in entries)
+                if entries
+                else 0.0
+            ),
+        }

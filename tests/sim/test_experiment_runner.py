@@ -105,6 +105,137 @@ class TestRunnerParallel:
         assert len(results) == 2
 
 
+class TestRunnerStoreSharing:
+    def test_serial_map_writes_through_session_store(self, tmp_path):
+        from repro.sim.session import SimSession
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        session = SimSession(enabled=True, store=store)
+        runner = ExperimentRunner(parallel=False)
+        jobs = [_job(PrefetcherKind.BASELINE), _job(PrefetcherKind.MARKOV)]
+        results = runner.map(jobs, session=session)
+        assert len(results) == 2
+        kinds = {entry.kind for entry in store.entries()}
+        assert kinds == {"trace", "result"}
+        # A fresh session over the same store serves the whole map()
+        # from disk — the cross-process scenario, minus the process.
+        fresh = SimSession(enabled=True, store=ArtifactStore(str(tmp_path)))
+        again = ExperimentRunner(parallel=False).map(jobs, session=fresh)
+        assert fresh.stats.sim_misses == 0
+        assert fresh.stats.sim_store_hits == 2
+        for before, after in zip(results, again):
+            assert before == after
+
+    @pytest.mark.slow
+    def test_parallel_workers_share_the_store(self, tmp_path):
+        from repro.sim.session import SimSession, set_session
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        previous = set_session(SimSession(enabled=True, store=store))
+        try:
+            jobs = [
+                SimJob(w, PrefetcherKind.BASELINE, scale="test",
+                       cores=2, seed=11)
+                for w in ("web-apache", "oltp-db2")
+            ]
+            ExperimentRunner(max_workers=2, parallel=True).map(jobs)
+            # Workers persisted their traces and results into the
+            # shared store (not just their in-process memo).
+            kinds = [entry.kind for entry in store.entries()]
+            assert kinds.count("trace") == 2
+            assert kinds.count("result") == 2
+        finally:
+            set_session(previous)
+
+    @pytest.mark.slow
+    def test_parallel_disabled_session_recomputes_in_workers(self):
+        """map(session=disabled) must force full recomputation even on
+        the parallel path: workers may not serve from the fork-inherited
+        global session's warm tiers."""
+        from repro.sim.session import SimSession, set_session
+
+        jobs = [
+            SimJob(w, PrefetcherKind.BASELINE, scale="test",
+                   cores=2, seed=13)
+            for w in ("web-apache", "oltp-db2")
+        ]
+        warm_global = SimSession(enabled=True)
+        previous = set_session(warm_global)
+        try:
+            ExperimentRunner(parallel=False).map(jobs)  # warm the memo
+            disabled = SimSession(enabled=False)
+            results = ExperimentRunner(max_workers=2, parallel=True).map(
+                jobs, session=disabled
+            )
+            assert len(results) == 2
+            # Worker stat deltas fold into the disabled session: every
+            # job simulated, nothing served from any tier.
+            assert disabled.stats.sim_misses == 2
+            assert disabled.stats.sim_hits == 0
+            assert disabled.stats.sim_store_hits == 0
+        finally:
+            set_session(previous)
+
+    @pytest.mark.slow
+    def test_parallel_enabled_session_overrides_disabled_global(
+        self, tmp_path
+    ):
+        """The mirror case: caller passes an enabled, store-backed
+        session while the fork-inherited global one is disabled —
+        workers must cache and persist on the caller's behalf."""
+        from repro.sim.session import SimSession, set_session
+        from repro.sim.store import ArtifactStore
+
+        previous = set_session(SimSession(enabled=False))
+        try:
+            store = ArtifactStore(str(tmp_path))
+            caller = SimSession(enabled=True, store=store)
+            jobs = [
+                SimJob(w, PrefetcherKind.BASELINE, scale="test",
+                       cores=2, seed=14)
+                for w in ("web-apache", "oltp-db2")
+            ]
+            ExperimentRunner(max_workers=2, parallel=True).map(
+                jobs, session=caller
+            )
+            kinds = [entry.kind for entry in store.entries()]
+            assert kinds.count("result") == 2  # workers persisted
+            assert caller.stats.sim_misses == 2
+        finally:
+            set_session(previous)
+
+    @pytest.mark.slow
+    def test_parallel_warm_run_skips_regeneration(self, tmp_path):
+        from repro.sim.session import SimSession, set_session
+        from repro.sim.store import ArtifactStore
+
+        jobs = [
+            SimJob(w, PrefetcherKind.BASELINE, scale="test",
+                   cores=2, seed=12)
+            for w in ("web-apache", "oltp-db2")
+        ]
+        cold = SimSession(
+            enabled=True, store=ArtifactStore(str(tmp_path))
+        )
+        previous = set_session(cold)
+        try:
+            ExperimentRunner(max_workers=2, parallel=True).map(jobs)
+            warm = SimSession(
+                enabled=True, store=ArtifactStore(str(tmp_path))
+            )
+            set_session(warm)
+            results = ExperimentRunner(max_workers=2, parallel=True).map(
+                jobs
+            )
+            assert len(results) == 2
+            assert warm.stats.sim_misses == 0
+            assert warm.stats.trace_misses == 0
+        finally:
+            set_session(previous)
+
+
 class TestParallelCacheAdoption:
     def test_parallel_results_adopted_by_global_session(self):
         from repro.sim.session import SimSession, set_session

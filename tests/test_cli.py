@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -64,6 +66,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ideal-tms" in out and "stms" in out
 
+class TestCacheCli:
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--store-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Artifact store" in out
+        assert str(tmp_path) in out
+
+    def test_warm_ls_rewarm_gc_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--scale", "test", "--cores", "2", "--store-dir", store]
+
+        assert main(["cache", "warm", "web-apache"] + base) == 0
+        out = capsys.readouterr().out
+        assert "3 simulated" in out  # baseline / ideal / STMS
+
+        assert main(["cache", "ls", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "trace" in out
+        assert "web-apache" in out
+
+        # A second warm builds a fresh session (same as a new process):
+        # everything must come from the disk store.
+        assert main(["cache", "warm", "web-apache"] + base) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+        assert "3 store hits" in out
+
+        assert main(["cache", "gc", "--clear", "--store-dir", store]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "ls", "--store-dir", store]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gc_without_cap_fails(self, tmp_path, capsys):
+        code = main(["cache", "gc", "--store-dir", str(tmp_path)])
+        assert code == 1
+        assert "--max-mb" in capsys.readouterr().out
+
+    def test_run_populates_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["run", "--workload", "oltp-db2", "--prefetcher", "baseline",
+             "--scale", "test", "--cores", "2", "--store-dir", store]
+        )
+        assert code == 0
+        assert os.listdir(os.path.join(store, "results"))
+        assert os.listdir(os.path.join(store, "traces"))
+
+    def test_run_no_cache_skips_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["run", "--workload", "oltp-db2", "--prefetcher", "baseline",
+             "--scale", "test", "--cores", "2", "--no-cache",
+             "--store-dir", store]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+        assert not os.path.exists(store)
+
+
+class TestCommandsSlow:
     @pytest.mark.slow
     def test_experiment_to_file(self, tmp_path, capsys):
         target = str(tmp_path / "table2.txt")

@@ -86,6 +86,53 @@ class TestTrace:
             )
             np.testing.assert_array_equal(loaded.dep[core], trace.dep[core])
 
+    def test_round_trip_preserves_metadata_exactly(self, tmp_path):
+        """The artifact store's trace tier relies on this invariant:
+        generator metadata survives a save/load cycle bit-exactly (a
+        drifted warmup_fraction would silently shift the measurement
+        boundary of every store-served simulation)."""
+        trace = simple_trace(records=9, cores=2)
+        trace.warmup_fraction = 0.37  # not representable in binary
+        trace.working_set_blocks = 12345
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.warmup_fraction == trace.warmup_fraction
+        assert loaded.working_set_blocks == trace.working_set_blocks
+        assert isinstance(loaded.working_set_blocks, int)
+        assert loaded.warmup_records(0) == trace.warmup_records(0)
+
+    def test_round_trip_preserves_per_core_dtypes(self, tmp_path):
+        """Engine hot paths and trace fingerprints are dtype-sensitive;
+        all four columns must come back with their exact dtypes."""
+        trace = simple_trace(records=5, cores=3)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        for core in range(3):
+            assert loaded.blocks[core].dtype == np.int64
+            assert loaded.work[core].dtype == np.float32
+            assert loaded.dep[core].dtype == np.bool_
+            assert loaded.write[core].dtype == np.bool_
+            np.testing.assert_array_equal(
+                loaded.work[core], trace.work[core]
+            )
+            np.testing.assert_array_equal(
+                loaded.write[core], trace.write[core]
+            )
+
+    def test_round_trip_preserves_fingerprint(self, tmp_path):
+        """Store-loaded traces must produce the same result-cache keys
+        as freshly generated ones, i.e. identical content fingerprints."""
+        from repro.sim.session import trace_fingerprint
+
+        trace = simple_trace(records=8, cores=2)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        assert trace_fingerprint(Trace.load(path)) == trace_fingerprint(
+            trace
+        )
+
 
 class TestTraceBuilder:
     def test_add_and_freeze(self):
