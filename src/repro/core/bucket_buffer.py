@@ -14,10 +14,10 @@ tiny fully-associative write-back cache of 64-byte buckets:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.memory.dram import DramChannel, Priority
+from repro.memory.address import BLOCK_BYTES
+from repro.memory.dram import DramChannel
 from repro.memory.traffic import TrafficCategory, TrafficMeter
 
 
@@ -33,6 +33,8 @@ class BucketBufferStats:
 class BucketBuffer:
     """LRU cache of index-table buckets with lazy dirty write-back."""
 
+    __slots__ = ('capacity', 'dram', 'traffic', 'stats', '_resident', '_traffic_bytes')
+
     def __init__(
         self,
         capacity: int,
@@ -45,8 +47,12 @@ class BucketBuffer:
         self.dram = dram
         self.traffic = traffic
         self.stats = BucketBufferStats()
-        # bucket id -> dirty flag, LRU order (oldest first).
-        self._resident: OrderedDict[int, bool] = OrderedDict()
+        # bucket id -> dirty flag, LRU order (oldest first).  A plain
+        # dict: insertion order is recency order, refreshed by
+        # pop-and-reinsert — cheaper than an OrderedDict on the per-miss
+        # metadata path.
+        self._resident: dict[int, bool] = {}
+        self._traffic_bytes = traffic._bytes
 
     def __contains__(self, bucket: int) -> bool:
         return bucket in self._resident
@@ -68,36 +74,51 @@ class BucketBuffer:
         to index-update traffic, matching the paper's Figure 7 split.
         Setting ``dirty`` marks the bucket for eventual write-back.
         """
-        if bucket in self._resident:
+        resident = self._resident
+        was_dirty = resident.pop(bucket, None)
+        if was_dirty is not None:
             self.stats.hits += 1
-            self._resident[bucket] = self._resident[bucket] or dirty
-            self._resident.move_to_end(bucket)
+            resident[bucket] = was_dirty or dirty
             return now
         self.stats.misses += 1
-        self.traffic.add_blocks(charge)
-        arrival = self.dram.request(now, Priority.LOW)
-        if len(self._resident) >= self.capacity:
-            self._evict_one(now)
-        self._resident[bucket] = dirty
+        self._traffic_bytes[charge] += BLOCK_BYTES
+        # Inlined DramChannel.request_low.
+        dram = self.dram
+        service = dram._transfer_cycles
+        busy = dram._busy_until_all
+        start = now if now > busy else busy
+        dram._busy_until_all = start + service
+        dram_stats = dram.stats
+        dram_stats.low_priority_requests += 1
+        dram_stats.requests += 1
+        dram_stats.busy_cycles += service
+        dram_stats.queue_cycles += start - now
+        arrival = start + dram._access_latency_cycles + service
+        if len(resident) >= self.capacity:
+            victim = next(iter(resident))
+            if resident.pop(victim):
+                self._write_back(now)
+        resident[bucket] = dirty
         return arrival
 
     def mark_dirty(self, bucket: int) -> None:
         """Dirty an already-resident bucket (after an in-place update)."""
         if bucket not in self._resident:
             raise KeyError(f"bucket {bucket} is not resident")
+        del self._resident[bucket]
         self._resident[bucket] = True
-        self._resident.move_to_end(bucket)
 
     def _evict_one(self, now: float) -> None:
-        victim, dirty = self._resident.popitem(last=False)
+        victim = next(iter(self._resident))
+        dirty = self._resident.pop(victim)
         if dirty:
             self._write_back(now)
 
     def _write_back(self, now: float) -> None:
         """One low-priority bucket write (index maintenance traffic)."""
         self.stats.writebacks += 1
-        self.traffic.add_blocks(TrafficCategory.UPDATE_INDEX)
-        self.dram.request(now, Priority.LOW)
+        self._traffic_bytes[TrafficCategory.UPDATE_INDEX] += BLOCK_BYTES
+        self.dram.request_low(now)
 
     def drain(self, now: float) -> int:
         """Write back every dirty bucket (end of simulation).

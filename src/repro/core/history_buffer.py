@@ -14,36 +14,58 @@ hits) in program order.  Key properties from the paper:
 
 Pointers are monotonically increasing sequence numbers; sequence ``s``
 lives in packed block ``s // 12`` of the buffer's memory region.
+
+Segment-committed appends
+=========================
+
+The on-chip pack buffer is materialized as plain Python lists
+(``_pend_blocks`` / ``_pend_marks``): an append is a list append, and the
+backing NumPy arrays are only written when the pack buffer spills — one
+sliced (vectorized) commit per twelve entries instead of one NumPy scalar
+store per append.  Because the capacity is a whole number of packed
+blocks and spills happen exactly on packed-block boundaries, the pack
+buffer always covers one *aligned* packed block: any ``read_block`` /
+``read_segment`` request is therefore served either entirely from the
+committed arrays or entirely from the pack buffer, never a mix.  All
+traffic and DRAM charges happen at the same times, with the same
+categories and counts, as the per-record reference behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
-import numpy as np
 
 from repro.core.codec import HISTORY_ENTRIES_PER_BLOCK
 from repro.memory.address import Region
-from repro.memory.dram import DramChannel, Priority
+from repro.memory.dram import DramChannel
 from repro.memory.traffic import TrafficCategory, TrafficMeter
 
 
-@dataclass(frozen=True)
-class HistoryPointer:
-    """A location inside some core's history buffer."""
-
+class _HistoryPointerFields(NamedTuple):
     core: int
     sequence: int
 
-    def __post_init__(self) -> None:
-        if self.core < 0:
+
+class HistoryPointer(_HistoryPointerFields):
+    """A location inside some core's history buffer.
+
+    A validated NamedTuple: one is created per *applied* (sampled) index
+    update, so construction cost sits on the metadata hot path.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, core: int, sequence: int) -> "HistoryPointer":
+        if core < 0:
             raise ValueError("core must be non-negative")
-        if self.sequence < 0:
+        if sequence < 0:
             raise ValueError("sequence must be non-negative")
+        return tuple.__new__(cls, (core, sequence))
 
 
-@dataclass(frozen=True)
-class HistoryEntry:
+class HistoryEntry(NamedTuple):
     """One logged miss: where it sits, what it was, and its mark bit."""
 
     sequence: int
@@ -65,6 +87,8 @@ class HistoryStats:
 
 class HistoryBuffer:
     """One core's circular miss log with write-combining and marks."""
+
+    __slots__ = ('core', 'capacity', 'region', 'dram', 'traffic', 'stats', 'head', '_blocks', '_marks', '_pend_blocks', '_pend_marks')
 
     def __init__(
         self,
@@ -96,10 +120,15 @@ class HistoryBuffer:
         self.stats = HistoryStats()
         #: Total entries ever appended; next append gets this sequence.
         self.head = 0
-        self._blocks = np.zeros(self.capacity, dtype=np.int64)
-        self._marks = np.zeros(self.capacity, dtype=bool)
-        #: Appends not yet spilled to memory (the on-chip pack buffer).
-        self._pending = 0
+        # Plain lists: the pack buffer commits whole aligned segments by
+        # slice assignment, and stream reads slice whole segments back
+        # out — native values both ways.
+        self._blocks: list[int] = [0] * self.capacity
+        self._marks: list[bool] = [False] * self.capacity
+        #: The on-chip pack buffer: appends not yet committed/spilled.
+        #: Always covers the aligned packed block ``head`` is in.
+        self._pend_blocks: list[int] = []
+        self._pend_marks: list[bool] = []
 
     # ------------------------------------------------------------------
     # Validity.
@@ -112,7 +141,10 @@ class HistoryBuffer:
 
     def is_valid(self, sequence: int) -> bool:
         """True while ``sequence`` is still resident in the buffer."""
-        return self.oldest_valid <= sequence < self.head
+        head = self.head
+        return (
+            head > sequence >= head - self.capacity and sequence >= 0
+        )
 
     # ------------------------------------------------------------------
     # Recording.
@@ -125,25 +157,50 @@ class HistoryBuffer:
         the pack buffer spills as one low-priority packed write.
         """
         sequence = self.head
-        slot = sequence % self.capacity
-        self._blocks[slot] = block
-        self._marks[slot] = False
-        self.head += 1
-        self._pending += 1
+        pending = self._pend_blocks
+        pending.append(block)
+        self._pend_marks.append(False)
+        self.head = sequence + 1
         self.stats.appends += 1
-        if self._pending >= HISTORY_ENTRIES_PER_BLOCK:
+        if len(pending) >= HISTORY_ENTRIES_PER_BLOCK:
             self._spill(now)
         return sequence
 
+    def _commit_pending(self) -> None:
+        """Slice the pack buffer into the circular arrays (one segment).
+
+        After a mid-run partial :meth:`flush` the pack buffer is no
+        longer packed-block aligned, so a commit may wrap the circular
+        boundary; split the splice in that case.
+        """
+        pending = self._pend_blocks
+        n = len(pending)
+        if not n:
+            return
+        capacity = self.capacity
+        start = (self.head - n) % capacity
+        end = start + n
+        if end <= capacity:
+            self._blocks[start:end] = pending
+            self._marks[start:end] = self._pend_marks
+        else:
+            split = capacity - start
+            self._blocks[start:] = pending[:split]
+            self._marks[start:] = self._pend_marks[:split]
+            self._blocks[: end - capacity] = pending[split:]
+            self._marks[: end - capacity] = self._pend_marks[split:]
+        pending.clear()
+        self._pend_marks.clear()
+
     def _spill(self, now: float) -> None:
-        self._pending = 0
+        self._commit_pending()
         self.stats.packed_writes += 1
-        self.traffic.add_blocks(TrafficCategory.RECORD_STREAMS)
-        self.dram.request(now, Priority.LOW)
+        self.traffic.add_block(TrafficCategory.RECORD_STREAMS)
+        self.dram.request_low(now)
 
     def flush(self, now: float) -> None:
         """Force any partially filled pack buffer out (simulation end)."""
-        if self._pending > 0:
+        if self._pend_blocks:
             self._spill(now)
 
     def annotate(self, sequence: int, now: float) -> bool:
@@ -154,63 +211,115 @@ class HistoryBuffer:
         """
         if not self.is_valid(sequence):
             return False
-        self._marks[sequence % self.capacity] = True
+        first_pending = self.head - len(self._pend_blocks)
+        if sequence >= first_pending:
+            self._pend_marks[sequence - first_pending] = True
+        else:
+            self._marks[sequence % self.capacity] = True
         self.stats.annotations += 1
-        self.traffic.add_blocks(TrafficCategory.RECORD_STREAMS)
-        self.dram.request(now, Priority.LOW)
+        self.traffic.add_block(TrafficCategory.RECORD_STREAMS)
+        self.dram.request_low(now)
         return True
 
     # ------------------------------------------------------------------
     # Stream reads.
     # ------------------------------------------------------------------
 
+    def read_segment(
+        self, sequence: int, now: float
+    ) -> "tuple[int, list[int], list[bool], float]":
+        """Fetch the packed-block segment containing ``sequence``.
+
+        Returns ``(first_sequence, blocks, marks, arrival)`` where the
+        parallel ``blocks``/``marks`` lists cover the consecutive valid
+        sequences ``first_sequence ..`` up to the end of the packed block
+        (at most :data:`HISTORY_ENTRIES_PER_BLOCK` entries).  Entries
+        newer than the last spill are still on chip, so reading the
+        packed block that overlaps the pack buffer costs nothing.
+        """
+        if not self.is_valid(sequence):
+            self.stats.stale_reads += 1
+            return sequence, [], [], now
+        block_start = (
+            sequence // HISTORY_ENTRIES_PER_BLOCK
+        ) * HISTORY_ENTRIES_PER_BLOCK
+        block_end = min(block_start + HISTORY_ENTRIES_PER_BLOCK, self.head)
+        first = max(sequence, self.head - self.capacity)
+
+        first_pending = self.head - len(self._pend_blocks)
+        if block_end > first_pending:
+            # Some (or all) of the packed block is still in the pack
+            # buffer: serve it on chip.  A mid-run partial flush can
+            # leave the pack buffer unaligned, so the block may be part
+            # committed arrays, part pending lists.
+            self.stats.on_chip_reads += 1
+            pending_end = block_end - first_pending
+            if first >= first_pending:
+                offset = first - first_pending
+                return (
+                    first,
+                    self._pend_blocks[offset:pending_end],
+                    self._pend_marks[offset:pending_end],
+                    now,
+                )
+            # ``first .. first_pending`` is committed and lies inside
+            # one aligned packed block (contiguous slots); the rest is
+            # the head of the pack buffer.
+            slot = first % self.capacity
+            committed = first_pending - first
+            return (
+                first,
+                self._blocks[slot:slot + committed]
+                + self._pend_blocks[:pending_end],
+                self._marks[slot:slot + committed]
+                + self._pend_marks[:pending_end],
+                now,
+            )
+        self.stats.block_reads += 1
+        self.traffic.add_block(TrafficCategory.LOOKUP_STREAMS)
+        arrival = self.dram.request_low(now)
+        # ``first .. block_end`` lies inside one aligned packed block and
+        # the capacity is a whole number of packed blocks, so the slots
+        # are contiguous: one sliced read covers the segment.
+        slot = first % self.capacity
+        count = block_end - first
+        return (
+            first,
+            self._blocks[slot:slot + count],
+            self._marks[slot:slot + count],
+            arrival,
+        )
+
     def read_block(
         self, sequence: int, now: float
     ) -> tuple[list[HistoryEntry], float]:
         """Fetch the packed block containing ``sequence``.
 
-        Returns the valid entries from ``sequence`` to the end of that
-        packed block (at most 12) and the time the data arrives.  Entries
-        newer than the last spill are still on chip, so reading a block
-        that overlaps the pack buffer costs nothing.
+        :class:`HistoryEntry` view over :meth:`read_segment` — identical
+        stats, traffic, and timing.
         """
-        if not self.is_valid(sequence):
-            self.stats.stale_reads += 1
-            return [], now
-        block_start = (
-            sequence // HISTORY_ENTRIES_PER_BLOCK
-        ) * HISTORY_ENTRIES_PER_BLOCK
-        block_end = min(block_start + HISTORY_ENTRIES_PER_BLOCK, self.head)
-
-        first_unspilled = self.head - self._pending
-        if block_end > first_unspilled:
-            # Some requested entries are still in the on-chip pack buffer.
-            arrival = now
-            self.stats.on_chip_reads += 1
-        else:
-            self.stats.block_reads += 1
-            self.traffic.add_blocks(TrafficCategory.LOOKUP_STREAMS)
-            arrival = self.dram.request(now, Priority.LOW)
-
-        entries = []
-        for seq in range(max(sequence, self.oldest_valid), block_end):
-            slot = seq % self.capacity
-            entries.append(
-                HistoryEntry(
-                    sequence=seq,
-                    block=int(self._blocks[slot]),
-                    marked=bool(self._marks[slot]),
-                )
-            )
+        first, blocks, marks, arrival = self.read_segment(sequence, now)
+        entries = [
+            HistoryEntry(first + k, block, marked)
+            for k, (block, marked) in enumerate(zip(blocks, marks))
+        ]
         return entries, arrival
 
     def peek(self, sequence: int) -> HistoryEntry | None:
         """Inspect one entry without timing or traffic (tests/debug)."""
         if not self.is_valid(sequence):
             return None
+        first_pending = self.head - len(self._pend_blocks)
+        if sequence >= first_pending:
+            offset = sequence - first_pending
+            return HistoryEntry(
+                sequence=sequence,
+                block=self._pend_blocks[offset],
+                marked=self._pend_marks[offset],
+            )
         slot = sequence % self.capacity
         return HistoryEntry(
             sequence=sequence,
-            block=int(self._blocks[slot]),
-            marked=bool(self._marks[slot]),
+            block=self._blocks[slot],
+            marked=self._marks[slot],
         )

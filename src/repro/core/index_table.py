@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.history_buffer import HistoryPointer
 from repro.memory.address import Region
 from repro.memory.address import is_power_of_two
@@ -46,6 +48,8 @@ class IndexStats:
 class IndexTable:
     """Bucketized hash table: address -> history pointer."""
 
+    __slots__ = ('buckets', 'bucket_entries', 'region', 'tag_bits', 'stats', '_bucket_mask', '_bucket_tags', '_bucket_ptrs')
+
     def __init__(
         self,
         buckets: int,
@@ -65,8 +69,11 @@ class IndexTable:
         self.tag_bits = tag_bits
         self.stats = IndexStats()
         self._bucket_mask = buckets - 1
-        # Each bucket: list of (tag, pointer), most recently used first.
-        self._table: list[list[tuple[int, HistoryPointer]]] = [
+        # Each bucket: parallel tag/pointer lists, most recently used
+        # first.  Parallel lists keep the per-miss probe a single
+        # C-level ``list.index`` scan instead of a Python tuple loop.
+        self._bucket_tags: list[list[int]] = [[] for _ in range(buckets)]
+        self._bucket_ptrs: list[list[HistoryPointer]] = [
             [] for _ in range(buckets)
         ]
 
@@ -84,6 +91,28 @@ class IndexTable:
             return block
         return block & ((1 << self.tag_bits) - 1)
 
+    def bucket_of_array(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`bucket_of` over a whole block column.
+
+        Exact for any block number below 2**53: the kept bits (11 ..
+        ``11 + log2(buckets)``) of the hash product survive the uint64
+        wraparound unchanged, so the NumPy pass classifies every record
+        into the bucket the scalar hash would pick.
+        """
+        products = np.asarray(blocks, dtype=np.uint64) * np.uint64(
+            _HASH_MULTIPLIER
+        )
+        return (
+            (products >> np.uint64(11)) & np.uint64(self._bucket_mask)
+        ).astype(np.int64)
+
+    def tag_of_array(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`tag_of` over a whole block column."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if self.tag_bits is None:
+            return blocks
+        return blocks & np.int64((1 << self.tag_bits) - 1)
+
     def memory_block(self, bucket: int) -> "int | None":
         """Physical block number of ``bucket`` in the meta-data region."""
         if self.region is None:
@@ -94,6 +123,29 @@ class IndexTable:
     # Bucket operations (state only; caller charges traffic).
     # ------------------------------------------------------------------
 
+    def probe(self, bucket_index: int, tag: int) -> "HistoryPointer | None":
+        """:meth:`lookup` with the hash and tag already computed.
+
+        The batched engine pre-classifies whole trace columns into
+        buckets/tags (see :meth:`bucket_of_array`) and probes with the
+        precomputed values; state effects and stats are identical to
+        :meth:`lookup`.
+        """
+        self.stats.lookups += 1
+        tags = self._bucket_tags[bucket_index]
+        # Membership probe before .index: misses dominate, and the two
+        # C-level scans of a <=12-entry bucket beat raising ValueError.
+        if tag not in tags:
+            return None
+        position = tags.index(tag)
+        ptrs = self._bucket_ptrs[bucket_index]
+        pointer = ptrs[position]
+        if position != 0:
+            tags.insert(0, tags.pop(position))
+            ptrs.insert(0, ptrs.pop(position))
+        self.stats.hits += 1
+        return pointer
+
     def lookup(self, block: int) -> "HistoryPointer | None":
         """Search the bucket for ``block``; LRU-touch on hit.
 
@@ -101,16 +153,32 @@ class IndexTable:
         address — the pointer returned then leads to an unrelated stream
         whose prefetches will be wasted, exactly as in real hardware.
         """
-        self.stats.lookups += 1
-        bucket = self._table[self.bucket_of(block)]
-        tag = self.tag_of(block)
-        for position, (entry_tag, pointer) in enumerate(bucket):
-            if entry_tag == tag:
-                if position != 0:
-                    bucket.insert(0, bucket.pop(position))
-                self.stats.hits += 1
-                return pointer
-        return None
+        return self.probe(self.bucket_of(block), self.tag_of(block))
+
+    def commit(
+        self, bucket_index: int, tag: int, pointer: HistoryPointer
+    ) -> bool:
+        """:meth:`update` with the hash and tag already computed."""
+        tags = self._bucket_tags[bucket_index]
+        ptrs = self._bucket_ptrs[bucket_index]
+        if tag in tags:
+            position = tags.index(tag)
+            if position != 0:
+                tags.insert(0, tags.pop(position))
+            ptrs.pop(position)
+            ptrs.insert(0, pointer)
+            self.stats.pointer_updates += 1
+            return False
+        replaced = False
+        if len(tags) >= self.bucket_entries:
+            tags.pop()
+            ptrs.pop()
+            replaced = True
+            self.stats.replacements += 1
+        tags.insert(0, tag)
+        ptrs.insert(0, pointer)
+        self.stats.inserts += 1
+        return replaced
 
     def update(self, block: int, pointer: HistoryPointer) -> bool:
         """Point ``block`` at a new history location.
@@ -118,22 +186,7 @@ class IndexTable:
         Returns True when an existing (LRU) entry had to be replaced —
         i.e. the bucket was full and an older correlation aged out.
         """
-        bucket = self._table[self.bucket_of(block)]
-        tag = self.tag_of(block)
-        for position, (entry_tag, _) in enumerate(bucket):
-            if entry_tag == tag:
-                bucket.pop(position)
-                bucket.insert(0, (tag, pointer))
-                self.stats.pointer_updates += 1
-                return False
-        replaced = False
-        if len(bucket) >= self.bucket_entries:
-            bucket.pop()
-            replaced = True
-            self.stats.replacements += 1
-        bucket.insert(0, (tag, pointer))
-        self.stats.inserts += 1
-        return replaced
+        return self.commit(self.bucket_of(block), self.tag_of(block), pointer)
 
     def bucket_contents(
         self, bucket: int
@@ -141,8 +194,10 @@ class IndexTable:
         """Entries of ``bucket`` in recency order (tests/serialization)."""
         if not 0 <= bucket < self.buckets:
             raise IndexError(f"bucket {bucket} out of range")
-        return list(self._table[bucket])
+        return list(
+            zip(self._bucket_tags[bucket], self._bucket_ptrs[bucket])
+        )
 
     def occupancy(self) -> int:
         """Total live entries across all buckets."""
-        return sum(len(bucket) for bucket in self._table)
+        return sum(len(tags) for tags in self._bucket_tags)

@@ -26,6 +26,8 @@ class ProbabilisticSampler:
 
     _BATCH = 4096
 
+    __slots__ = ('probability', '_rng', '_draws', '_cursor', 'flips', 'accepted')
+
     def __init__(self, probability: float, seed: int = 42) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(
@@ -49,9 +51,13 @@ class ProbabilisticSampler:
         if self.probability <= 0.0:
             return False
         if self._cursor >= len(self._draws):
-            self._draws = self._rng.random(self._BATCH) < self.probability
+            # Native bools: indexing a list returns a ready-made bool,
+            # unlike NumPy scalar extraction on the hot path.
+            self._draws = (
+                self._rng.random(self._BATCH) < self.probability
+            ).tolist()
             self._cursor = 0
-        outcome = bool(self._draws[self._cursor])
+        outcome = self._draws[self._cursor]
         self._cursor += 1
         if outcome:
             self.accepted += 1

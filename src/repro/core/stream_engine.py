@@ -13,17 +13,18 @@ block fetches, prefetch fills) is orchestrated by
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.history_buffer import HistoryEntry
 
 
-@dataclass(frozen=True)
-class QueuedAddress:
+class QueuedAddress(NamedTuple):
     """One address waiting in the FIFO queue.
 
     ``ready_at`` is when the history block it came from arrives on chip;
-    a prefetch for it cannot issue earlier.
+    a prefetch for it cannot issue earlier.  A NamedTuple: the stream
+    follower creates one per enqueued history entry, so construction cost
+    is on the metadata hot path.
     """
 
     source_core: int
@@ -35,6 +36,8 @@ class QueuedAddress:
 
 class StreamEngine:
     """FIFO address queue plus active-stream bookkeeping for one core."""
+
+    __slots__ = ('core', 'queue_capacity', 'refill_threshold', 'serial', '_queue', 'active', 'source_core', 'next_fetch_sequence', 'paused_at', '_issued', 'last_consumed', 'consumed_count')
 
     def __init__(
         self,
@@ -130,6 +133,47 @@ class StreamEngine:
             if entry.marked:
                 self.paused_at = queued
                 break
+        return accepted
+
+    def enqueue_segment(
+        self,
+        first_sequence: int,
+        blocks: "list[int]",
+        marks: "list[bool]",
+        ready_at: float,
+    ) -> int:
+        """Bulk :meth:`enqueue_entries` over one history-block segment.
+
+        Takes the parallel column lists a
+        :meth:`~repro.core.history_buffer.HistoryBuffer.read_segment`
+        returns (consecutive sequences from ``first_sequence``) without
+        materializing per-entry objects.  Accept/pause semantics are
+        identical to :meth:`enqueue_entries`.
+        """
+        if not self.active:
+            return 0
+        queue = self._queue
+        capacity = self.queue_capacity
+        depth = len(queue)
+        source_core = self.source_core
+        sequence = first_sequence
+        accepted = 0
+        tuple_new = tuple.__new__
+        for block, marked in zip(blocks, marks):
+            if depth >= capacity:
+                break
+            queued = tuple_new(
+                QueuedAddress,
+                (source_core, sequence, block, marked, ready_at),
+            )
+            queue.append(queued)
+            depth += 1
+            self.next_fetch_sequence = sequence + 1
+            accepted += 1
+            if marked:
+                self.paused_at = queued
+                break
+            sequence += 1
         return accepted
 
     def pop_for_prefetch(self) -> QueuedAddress | None:

@@ -11,7 +11,6 @@ operate on block numbers (see :mod:`repro.memory.address`).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -109,11 +108,14 @@ class CacheStats:
 class Cache:
     """A single set-associative, write-back, write-allocate cache.
 
-    Each set is an :class:`~collections.OrderedDict` mapping tag to a dirty
-    bit, kept in LRU order (last item = most recent).  This keeps the hot
-    path — :meth:`access` — allocation-free and O(1) amortized, which
-    matters because the simulator pushes every trace record through here.
+    Each set is a plain dict mapping tag to a dirty bit, kept in LRU
+    order (last item = most recent; recency refreshed by pop/reinsert).
+    This keeps the hot path — :meth:`access` — allocation-free and O(1)
+    amortized, which matters because the simulator pushes every trace
+    record through here.
     """
+
+    __slots__ = ('config', 'stats', '_set_mask', '_lru', '_random', '_sets', '_version', '_snapshot', '_snapshot_version', '_rng')
 
     def __init__(
         self,
@@ -129,10 +131,10 @@ class Cache:
             import numpy as np
 
             self._rng = rng if rng is not None else np.random.default_rng(0)
-        # sets[i]: OrderedDict[tag] = dirty flag.  Iteration order is
-        # recency (LRU) or insertion (FIFO), oldest first.
-        self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(config.sets)
+        # sets[i]: dict[tag] = dirty flag.  Iteration order is recency
+        # (LRU) or insertion (FIFO), oldest first.
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(config.sets)
         ]
         # Resident-set snapshot for vectorized segment classification.
         # ``_version`` bumps whenever the resident *set* changes (fills
@@ -207,7 +209,8 @@ class Cache:
                 victim = self._evict(cache_set)
                 evicted = (victim.block, victim.dirty)
             else:
-                evicted = cache_set.popitem(last=False)
+                victim_block = next(iter(cache_set))
+                evicted = (victim_block, cache_set.pop(victim_block))
                 stats = self.stats
                 stats.evictions += 1
                 if evicted[1]:
@@ -217,7 +220,7 @@ class Cache:
         self._version += 1
         return evicted
 
-    def _evict(self, cache_set: "OrderedDict[int, bool]") -> Eviction:
+    def _evict(self, cache_set: "dict[int, bool]") -> Eviction:
         """Choose and remove a victim per the configured policy."""
         if self._random:
             keys = list(cache_set.keys())
@@ -226,7 +229,8 @@ class Cache:
         else:
             # LRU and FIFO both evict the oldest entry; they differ only
             # in whether hits refresh the order (see :meth:`access`).
-            victim_block, victim_dirty = cache_set.popitem(last=False)
+            victim_block = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_block)
         self.stats.evictions += 1
         if victim_dirty:
             self.stats.dirty_evictions += 1
@@ -315,8 +319,8 @@ class TagArrayCache:
     and must produce bit-identical results to the scalar reference
     engine.  Replacement order is tracked with a monotone stamp per way
     (hit/insert refreshes under LRU, insert-only under FIFO), so the
-    eviction victim — the minimum stamp — matches the
-    :class:`~collections.OrderedDict` order of the scalar model.
+    eviction victim — the minimum stamp — matches the dict insertion
+    order of the scalar model.
 
     On top of the scalar interface it supports *whole-segment
     classification*: :meth:`resident_prefix` answers, vectorized, how
@@ -325,6 +329,8 @@ class TagArrayCache:
     NumPy pass.  ``slots`` maps resident blocks to their flat way index
     for O(1) scalar probes without touching the arrays.
     """
+
+    __slots__ = ('config', 'stats', '_set_mask', '_lru', '_ways', '_tags', '_valid', '_stamp', '_tags_flat', '_valid_flat', '_stamp_flat', '_dirty_flat', '_set_count', '_tick', 'slots')
 
     def __init__(self, config: CacheConfig) -> None:
         if config.replacement not in ("lru", "fifo"):
@@ -519,7 +525,7 @@ class VictimBuffer:
     """
 
     capacity: int
-    _fifo: OrderedDict[int, bool] = field(default_factory=OrderedDict)
+    _fifo: dict[int, bool] = field(default_factory=dict)
     hits: int = 0
 
     def insert(self, block: int, dirty: bool) -> Eviction | None:
@@ -531,7 +537,8 @@ class VictimBuffer:
             return None
         displaced: Eviction | None = None
         if len(self._fifo) >= self.capacity:
-            old_block, old_dirty = self._fifo.popitem(last=False)
+            old_block = next(iter(self._fifo))
+            old_dirty = self._fifo.pop(old_block)
             displaced = Eviction(block=old_block, dirty=old_dirty)
         self._fifo[block] = dirty
         return displaced

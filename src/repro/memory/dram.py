@@ -76,6 +76,8 @@ class DramStats:
 class DramChannel:
     """Single memory channel shared by all cores and the prefetcher."""
 
+    __slots__ = ('config', 'stats', '_transfer_cycles', '_access_latency_cycles', '_busy_until_high', '_busy_until_all')
+
     def __init__(self, config: DramConfig | None = None) -> None:
         self.config = config if config is not None else DramConfig()
         self.stats = DramStats()
@@ -104,22 +106,43 @@ class DramChannel:
             raise ValueError(f"blocks must be positive, got {blocks}")
         service = self._transfer_cycles * blocks
 
+        stats = self.stats
         if priority is Priority.HIGH:
-            start = max(now, self._busy_until_high)
-            self._busy_until_high = start + service
-            self._busy_until_all = max(
-                self._busy_until_all, self._busy_until_high
-            )
-            self.stats.high_priority_requests += 1
+            busy = self._busy_until_high
+            start = now if now > busy else busy
+            busy = start + service
+            self._busy_until_high = busy
+            if busy > self._busy_until_all:
+                self._busy_until_all = busy
+            stats.high_priority_requests += 1
         else:
-            start = max(now, self._busy_until_all)
+            busy = self._busy_until_all
+            start = now if now > busy else busy
             self._busy_until_all = start + service
-            self.stats.low_priority_requests += 1
+            stats.low_priority_requests += 1
 
-        self.stats.requests += 1
-        self.stats.busy_cycles += service
-        self.stats.queue_cycles += start - now
+        stats.requests += 1
+        stats.busy_cycles += service
+        stats.queue_cycles += start - now
 
+        return start + self._access_latency_cycles + service
+
+    def request_low(self, now: float) -> float:
+        """One-block :meth:`request` at ``Priority.LOW``.
+
+        Branch-free specialization for the metadata paths (bucket
+        fetches, history spills/reads), which issue every off-chip
+        meta-data access at low priority.
+        """
+        service = self._transfer_cycles
+        busy = self._busy_until_all
+        start = now if now > busy else busy
+        self._busy_until_all = start + service
+        stats = self.stats
+        stats.low_priority_requests += 1
+        stats.requests += 1
+        stats.busy_cycles += service
+        stats.queue_cycles += start - now
         return start + self._access_latency_cycles + service
 
     def latency(

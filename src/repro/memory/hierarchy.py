@@ -113,6 +113,8 @@ class HierarchyEvent:
 class CmpHierarchy:
     """Functional model of the private-L1 / shared-L2 hierarchy."""
 
+    __slots__ = ('config', 'traffic', 'l1s', 'victims', 'l2', '_l2_ways', 'off_chip_reads', 'demand_accesses', '_l1_copies', 'log_l1_invalidations', 'l1_invalidations')
+
     def __init__(
         self,
         config: CmpConfig | None = None,
@@ -196,7 +198,7 @@ class CmpHierarchy:
         """L2 fill with inclusive-eviction handling.
 
         Equivalent to ``self.l2.fill(block, dirty)`` followed by
-        :meth:`_handle_l2_eviction` on its victim, with the OrderedDict
+        :meth:`_handle_l2_eviction` on its victim, with the set-dict
         operations inlined — this runs for every off-chip fill and every
         dirty victim spill, so the per-call method/allocation overhead
         matters.  The L2 is always LRU (``CmpConfig`` exposes no policy
@@ -211,7 +213,8 @@ class CmpHierarchy:
             return
         victim_block = None
         if len(cache_set) >= self._l2_ways:
-            victim_block, victim_dirty = cache_set.popitem(last=False)
+            victim_block = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim_block)
             stats = l2.stats
             stats.evictions += 1
             if victim_dirty:
@@ -260,7 +263,8 @@ class CmpHierarchy:
             fifo[victim_block] = fifo[victim_block] or victim_dirty
             return
         if len(fifo) >= capacity:
-            displaced_block, displaced_dirty = fifo.popitem(last=False)
+            displaced_block = next(iter(fifo))
+            displaced_dirty = fifo.pop(displaced_block)
             if displaced_dirty:
                 # Dirty victim falls back to L2 (on-chip; no pin traffic).
                 self._l2_fill(displaced_block, True, writebacks)
@@ -276,16 +280,21 @@ class CmpHierarchy:
         """
         mask = self._l1_copies.pop(block, 0)
         if mask:
-            for core in range(self.config.cores):
-                if mask & (1 << core):
-                    if self.l1s[core].peek_dirty(block):
-                        dirty = True
-                    self.l1s[core].invalidate(block)
-                    if self.log_l1_invalidations:
-                        self.l1_invalidations.append((core, block))
+            dirty = self._invalidate_copies(block, mask, dirty)
         if dirty:
             self.traffic.add_block(TrafficCategory.WRITEBACK)
             writebacks.append(Eviction(block=block, dirty=True))
+
+    def _invalidate_copies(self, block: int, mask: int, dirty: bool) -> bool:
+        """Invalidate every L1 copy in ``mask``; merge their dirty state."""
+        for core in range(self.config.cores):
+            if mask & (1 << core):
+                if self.l1s[core].peek_dirty(block):
+                    dirty = True
+                self.l1s[core].invalidate(block)
+                if self.log_l1_invalidations:
+                    self.l1_invalidations.append((core, block))
+        return dirty
 
     def l2_bank(self, block: int) -> int:
         """Bank index of ``block`` (interleaved at block granularity)."""

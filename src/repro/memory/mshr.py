@@ -9,6 +9,7 @@ access from piggybacking on one already in progress.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 
@@ -35,12 +36,20 @@ class MshrStats:
 class MshrFile:
     """Bounded set of outstanding misses with secondary-miss merging."""
 
+    __slots__ = ('capacity', 'stats', '_entries', '_min_complete', '_heap')
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"MSHR capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.stats = MshrStats()
         self._entries: dict[int, MshrEntry] = {}
+        # Completion-ordered heap of ``(complete_at, block)`` so the
+        # per-miss retirement sweep pops exactly the finished entries
+        # instead of scanning the whole file.  Entries removed outside
+        # :meth:`retire_complete` (``release``) leave stale heap tuples
+        # behind; they are skipped lazily.
+        self._heap: "list[tuple[float, int]]" = []
         # Lower bound on the earliest outstanding completion, so the
         # per-miss retirement sweep can skip scanning when nothing can
         # have completed yet.  Exact tracking is not required: the bound
@@ -76,6 +85,7 @@ class MshrFile:
             block=block, complete_at=complete_at, is_prefetch=is_prefetch
         )
         self._entries[block] = entry
+        heapq.heappush(self._heap, (complete_at, block))
         if complete_at < self._min_complete:
             self._min_complete = complete_at
         self.stats.allocations += 1
@@ -97,14 +107,17 @@ class MshrFile:
         """Remove and return every entry whose fill has arrived by ``now``."""
         if now < self._min_complete:
             return []
-        done = [e for e in self._entries.values() if e.complete_at <= now]
-        for entry in done:
-            del self._entries[entry.block]
-        if done:
-            self._min_complete = min(
-                (e.complete_at for e in self._entries.values()),
-                default=float("inf"),
-            )
+        done: list[MshrEntry] = []
+        heap = self._heap
+        entries = self._entries
+        pop = heapq.heappop
+        while heap and heap[0][0] <= now:
+            complete_at, block = pop(heap)
+            entry = entries.get(block)
+            if entry is not None and entry.complete_at == complete_at:
+                del entries[block]
+                done.append(entry)
+        self._min_complete = heap[0][0] if heap else float("inf")
         return done
 
     def release(self, block: int) -> None:
@@ -113,11 +126,21 @@ class MshrFile:
 
     def earliest_completion(self) -> float | None:
         """Completion time of the soonest-finishing entry, if any."""
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             return None
-        return min(e.complete_at for e in self._entries.values())
+        heap = self._heap
+        while heap:
+            complete_at, block = heap[0]
+            entry = entries.get(block)
+            if entry is not None and entry.complete_at == complete_at:
+                return complete_at
+            heapq.heappop(heap)
+        # Stale-only heap (possible after ``release``): fall back.
+        return min(e.complete_at for e in entries.values())
 
     def clear(self) -> None:
         """Drop all outstanding entries (used between simulation phases)."""
         self._entries.clear()
+        self._heap.clear()
         self._min_complete = float("inf")

@@ -17,9 +17,8 @@ for every byte in the shared :class:`~repro.memory.traffic.TrafficMeter`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.memory.dram import DramChannel, Priority
 from repro.memory.traffic import TrafficCategory, TrafficMeter
@@ -30,9 +29,12 @@ from repro.memory.traffic import TrafficCategory, TrafficMeter
 ResidencyFilter = Callable[[int], bool]
 
 
-@dataclass(frozen=True, slots=True)
-class PrefetchedBlock:
-    """A prefetch-buffer hit returned to the engine for timing."""
+class PrefetchedBlock(NamedTuple):
+    """A prefetch-buffer hit returned to the engine for timing.
+
+    A NamedTuple: one is created per issued prefetch, which puts
+    construction cost on the event hot path.
+    """
 
     block: int
     issued_at: float
@@ -84,11 +86,16 @@ class PrefetchBuffer:
     displaced entry counts as an erroneous prefetch.
     """
 
+    __slots__ = ('capacity', '_entries', '_stream_counts')
+
     def __init__(self, capacity: int = 32) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[int, PrefetchedBlock] = OrderedDict()
+        # block -> entry, FIFO order (oldest first); a plain dict keeps
+        # insertion order and is cheaper than an OrderedDict on the
+        # per-event take/insert path.
+        self._entries: dict[int, PrefetchedBlock] = {}
         self._stream_counts: dict[int, int] = {}
 
     def __len__(self) -> int:
@@ -123,7 +130,7 @@ class PrefetchBuffer:
             return None
         displaced: PrefetchedBlock | None = None
         if len(self._entries) >= self.capacity:
-            _, displaced = self._entries.popitem(last=False)
+            displaced = self._entries.pop(next(iter(self._entries)))
             self._forget(displaced)
         self._entries[entry.block] = entry
         self._stream_counts[entry.stream] = (
@@ -158,6 +165,8 @@ class TemporalPrefetcher(ABC):
     #: exceeds this many device-access latencies (bounded-queue model).
     BACKLOG_LIMIT_ACCESSES = 8.0
 
+    __slots__ = ('cores', 'dram', 'traffic', 'stats', '_filter', '_filter_sets', '_filter_mask', 'buffers', '_backlog_limit')
+
     def __init__(
         self,
         cores: int,
@@ -173,6 +182,20 @@ class TemporalPrefetcher(ABC):
         self.traffic = traffic
         self.stats = PrefetcherStats()
         self._filter = residency_filter
+        # When the residency filter is a plain Cache.lookup bound method
+        # (the engine's L2 probe), hot paths test set membership
+        # directly instead of paying a call per prefetch candidate.
+        self._filter_sets = None
+        self._filter_mask = 0
+        bound = getattr(residency_filter, "__self__", None)
+        if (
+            bound is not None
+            and getattr(residency_filter, "__name__", "") == "lookup"
+            and hasattr(bound, "_sets")
+            and hasattr(bound, "_set_mask")
+        ):
+            self._filter_sets = bound._sets
+            self._filter_mask = bound._set_mask
         self.buffers = [PrefetchBuffer(buffer_blocks) for _ in range(cores)]
         self._backlog_limit = (
             self.BACKLOG_LIMIT_ACCESSES
@@ -224,7 +247,7 @@ class TemporalPrefetcher(ABC):
 
     def _charge_erroneous(self) -> None:
         self.stats.erroneous += 1
-        self.traffic.add_blocks(TrafficCategory.ERRONEOUS_PREFETCH)
+        self.traffic.add_block(TrafficCategory.ERRONEOUS_PREFETCH)
 
     def _issue_prefetch(
         self, core: int, block: int, now: float, stream: int = -1
@@ -237,9 +260,15 @@ class TemporalPrefetcher(ABC):
         """
         buffer = self.buffers[core]
         stats = self.stats
-        if block in buffer._entries:
+        entries = buffer._entries
+        if block in entries:
             return False
-        if self._filter is not None and self._filter(block):
+        filter_sets = self._filter_sets
+        if filter_sets is not None:
+            if block in filter_sets[block & self._filter_mask]:
+                stats.filtered += 1
+                return False
+        elif self._filter is not None and self._filter(block):
             stats.filtered += 1
             return False
         dram = self.dram
@@ -258,12 +287,15 @@ class TemporalPrefetcher(ABC):
         dram_stats.busy_cycles += service
         dram_stats.queue_cycles += start - now
         arrival = start + dram._access_latency_cycles + service
-        displaced = buffer.insert(
-            PrefetchedBlock(
-                block=block, issued_at=now, arrival=arrival, stream=stream
-            )
-        )
-        if displaced is not None:
+        # Inlined PrefetchBuffer.insert (the block is known absent).
+        if len(entries) >= buffer.capacity:
+            displaced = entries.pop(next(iter(entries)))
+            buffer._forget(displaced)
             self._charge_erroneous()
+        entries[block] = tuple.__new__(
+            PrefetchedBlock, (block, now, arrival, stream)
+        )
+        counts = buffer._stream_counts
+        counts[stream] = counts.get(stream, 0) + 1
         stats.issued += 1
         return True

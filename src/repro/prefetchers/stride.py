@@ -15,11 +15,10 @@ is charged as demand-equivalent useful traffic when consumed.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.prefetchers.base import PrefetchBuffer, PrefetchedBlock
-from repro.memory.dram import DramChannel, Priority
+from repro.memory.dram import DramChannel
 
 
 @dataclass(slots=True)
@@ -38,6 +37,8 @@ class StridePrefetcher:
 
     #: Blocks per tracking region (aligned); 64 blocks = 4 KB pages.
     REGION_BLOCKS = 64
+
+    __slots__ = ('cores', 'dram', 'tracker_entries', 'degree', 'confirm_threshold', 'stats', '_trackers', 'buffers', '_region_blocks', '_region_shift', '_backlog_limit')
 
     def __init__(
         self,
@@ -60,12 +61,15 @@ class StridePrefetcher:
         self.stats = StrideStats()
         # Tracker entries are ``[last_block, stride, confirmations]``
         # lists — this is the simulator's hottest predictor path, and
-        # list indexing beats attribute access.
-        self._trackers: "list[OrderedDict[int, list]]" = [
-            OrderedDict() for _ in range(cores)
+        # list indexing beats attribute access.  Plain dicts in
+        # insertion-equals-recency order (refreshed by pop/reinsert).
+        self._trackers: "list[dict[int, list]]" = [
+            {} for _ in range(cores)
         ]
         self.buffers = [PrefetchBuffer(buffer_blocks) for _ in range(cores)]
         self._region_blocks = self.REGION_BLOCKS
+        #: Region extraction as a shift (REGION_BLOCKS is a power of two).
+        self._region_shift = self.REGION_BLOCKS.bit_length() - 1
         self._backlog_limit = (
             self.BACKLOG_LIMIT_ACCESSES
             * dram.config.access_latency_cycles
@@ -82,16 +86,17 @@ class StridePrefetcher:
     def train(self, core: int, block: int, now: float) -> None:
         """Observe an L2 access; detect and run confirmed strides."""
         tracker = self._trackers[core]
-        region = block // self._region_blocks
+        region = block >> self._region_shift
         entry = tracker.get(region)
         if entry is None:
             if len(tracker) >= self.tracker_entries:
-                tracker.popitem(last=False)
+                del tracker[next(iter(tracker))]
             tracker[region] = [block, 0, 0]
             self.stats.trained += 1
             return
-        # LRU-refresh the region.
-        tracker.move_to_end(region)
+        # LRU-refresh the region (pop/reinsert keeps dict order = recency).
+        del tracker[region]
+        tracker[region] = entry
         stride = block - entry[0]
         if stride == 0:
             return
@@ -113,9 +118,12 @@ class StridePrefetcher:
     ) -> None:
         buffer = self.buffers[core]
         resident = buffer._entries
+        counts = buffer._stream_counts
+        capacity = buffer.capacity
         backlog_limit = self._backlog_limit
         dram = self.dram
         stats = self.stats
+        tuple_new = tuple.__new__
         last_target = block
         for i in range(1, self.degree + 1):
             target = block + stride * i
@@ -125,12 +133,16 @@ class StridePrefetcher:
             if dram._busy_until_all - now > backlog_limit:
                 stats.dropped += 1
                 break
-            arrival = dram.request(now, Priority.LOW)
-            displaced = buffer.insert(
-                PrefetchedBlock(block=target, issued_at=now, arrival=arrival)
-            )
-            if displaced is not None:
+            arrival = dram.request_low(now)
+            # Inlined PrefetchBuffer.insert (target is known absent).
+            if len(resident) >= capacity:
+                displaced = resident.pop(next(iter(resident)))
+                buffer._forget(displaced)
                 stats.erroneous += 1
+            resident[target] = tuple_new(
+                PrefetchedBlock, (target, now, arrival, -1)
+            )
+            counts[-1] = counts.get(-1, 0) + 1
             stats.issued += 1
             last_target = target
         self._seed_continuation(core, block, last_target, stride)
@@ -146,14 +158,14 @@ class StridePrefetcher:
         Seeding the next region's tracker with the confirmed stride keeps
         the stream rolling seamlessly.
         """
-        region = last_target // self.REGION_BLOCKS
-        if region == block // self.REGION_BLOCKS:
+        region = last_target >> self._region_shift
+        if region == block >> self._region_shift:
             return
         tracker = self._trackers[core]
         if region in tracker:
             return
         if len(tracker) >= self.tracker_entries:
-            tracker.popitem(last=False)
+            del tracker[next(iter(tracker))]
         tracker[region] = [
             last_target,
             stride,

@@ -45,21 +45,35 @@ So the engine schedules **events**, not records:
 Trace columns are additionally materialized as Python lists once per
 trace: scalar event records then read native ints/floats/bools instead
 of paying NumPy scalar-extraction costs per record.
+
+The STMS metadata path is vectorized the same way the L1-hit runs are
+(see :mod:`repro.core.stms`): index buckets and tags for *every* record
+are classified in one NumPy pass per column at construction
+(``metadata_columns``), history-buffer appends commit per packed-block
+segment instead of per record, and stream follows move whole history
+segments through ``read_segment`` / ``enqueue_segment``.  Scalar
+processing remains only at the points where stream state genuinely
+serializes — stream launch, pause/resume, and run invalidation.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
+
 import numpy as np
 
 from repro.memory.address import BLOCK_BYTES
-from repro.memory.cache import AccessResult
+from repro.memory.cache import AccessResult, Eviction
 from repro.memory.dram import Priority
+from repro.memory.mshr import MshrEntry
 from repro.memory.traffic import TrafficCategory
 from repro.sim.engine import _RunState
 
 _HIGH = Priority.HIGH
 _HIT = AccessResult.HIT
 _DEMAND_READ = TrafficCategory.DEMAND_READ
+_WRITEBACK = TrafficCategory.WRITEBACK
+_USEFUL_PREFETCH = TrafficCategory.USEFUL_PREFETCH
 _INF = float("inf")
 
 #: Records probed scalar-ly before switching to vectorized
@@ -96,6 +110,8 @@ class BatchRunState(_RunState):
 
     L1_KIND = "dict"
 
+    __slots__ = ('_blocks_l', '_work_l', '_dep_l', '_write_l', '_blocks_a', '_write_a', '_runs', '_event_keys', '_n_pending', '_t_l1_hit', '_t_victim', '_t_l2_dep', '_t_l2_indep', '_t_stride_dep', '_t_stride_indep', '_t_pf_dep', '_t_pf_indep', '_t_miss_overhead', '_miss_window', '_traffic_bytes', '_l2_ways', '_l1_ways', '_victim_capacity', '_mlp_accs', '_l1_sets_list', '_l1_set_mask', '_scratch_writebacks', '_stms_buckets', '_stms_tags')
+
     def __init__(self, config, trace, temporal_factory):
         super().__init__(config, trace, temporal_factory)
         self.hierarchy.log_l1_invalidations = True
@@ -124,7 +140,31 @@ class BatchRunState(_RunState):
         self._t_miss_overhead = timing.miss_issue_overhead
         self._miss_window = timing.core_miss_window
         self._traffic_bytes = self.traffic._bytes
+        self._l2_ways = self.hierarchy._l2_ways
+        self._l1_ways = config.cmp.l1_ways
+        self._victim_capacity = config.cmp.l1_victim_blocks
+        self._mlp_accs = (
+            self.mlp._accumulators if self.mlp is not None else None
+        )
+        if self.L1_KIND == "dict":
+            self._l1_sets_list = [l1._sets for l1 in self.hierarchy.l1s]
+            self._l1_set_mask = self.hierarchy.l1s[0]._set_mask
+        else:
+            self._l1_sets_list = None
+            self._l1_set_mask = 0
         self._scratch_writebacks: list = []
+        # STMS fast path: pre-classify every record's index bucket/tag in
+        # one vectorized pass per column.  Other temporal prefetchers
+        # (or no prefetcher) keep the generic consume/on_demand_miss
+        # calls.
+        columns_hook = getattr(self.temporal, "metadata_columns", None)
+        if columns_hook is not None:
+            buckets, tags = columns_hook(self._blocks_a)
+            self._stms_buckets = buckets
+            self._stms_tags = self._blocks_l if tags is None else tags
+        else:
+            self._stms_buckets = None
+            self._stms_tags = None
 
     # ------------------------------------------------------------------
     # Event-granular dispatcher.
@@ -195,17 +235,38 @@ class BatchRunState(_RunState):
         clock = self.clocks[core]
         blocks_l = self._blocks_l[core]
         l1 = self.hierarchy.l1s[core]
-        lookup = l1.lookup
-        if not lookup(blocks_l[cursor]):
-            # Empty run — the next record is immediately an event.
-            run.n = 0
-            self._event_keys[core] = clock
-            return
-        window = limit - cursor
-        n = 1
-        probe = _PROBE if window > _PROBE else window
-        while n < probe and lookup(blocks_l[cursor + n]):
-            n += 1
+        l1_sets_list = self._l1_sets_list
+        if l1_sets_list is not None:
+            # Dict-backed L1: probe set membership directly (the method
+            # call per record dominates on miss-heavy traces).
+            sets = l1_sets_list[core]
+            set_mask = self._l1_set_mask
+            block = blocks_l[cursor]
+            if block not in sets[block & set_mask]:
+                # Empty run — the next record is immediately an event.
+                run.n = 0
+                self._event_keys[core] = clock
+                return
+            window = limit - cursor
+            n = 1
+            probe = _PROBE if window > _PROBE else window
+            while n < probe:
+                block = blocks_l[cursor + n]
+                if block not in sets[block & set_mask]:
+                    break
+                n += 1
+        else:
+            lookup = l1.lookup
+            if not lookup(blocks_l[cursor]):
+                # Empty run — the next record is immediately an event.
+                run.n = 0
+                self._event_keys[core] = clock
+                return
+            window = limit - cursor
+            n = 1
+            probe = _PROBE if window > _PROBE else window
+            while n < probe and lookup(blocks_l[cursor + n]):
+                n += 1
         if n == probe and window > probe:
             arr = self._blocks_a[core]
             base = cursor + n
@@ -270,14 +331,23 @@ class BatchRunState(_RunState):
             self._n_pending -= 1
 
     def _process_event(self, core: int) -> None:
-        """One L1-missing record, identical to the scalar ``_step``."""
+        """One L1-missing record, identical to the scalar ``_step``.
+
+        The scalar reference's ``_step`` + ``_off_chip`` pair merged
+        into one function with every repeated ``self`` field hoisted to
+        a local: this runs once per event, and on miss-dominated traces
+        (the STMS sweeps) that is nearly once per record.  Any change to
+        the scalar path must be replicated here (the equivalence and
+        differential suites catch drift).
+        """
         i = self.cursors[core]
         self.cursors[core] = i + 1
         block = self._blocks_l[core][i]
         dep = self._dep_l[core][i]
         write = self._write_l[core][i]
         t = self.clocks[core] + self._work_l[core][i]
-        if self.measuring:
+        measuring = self.measuring
+        if measuring:
             self.measured_records += 1
 
         hier = self.hierarchy
@@ -285,57 +355,69 @@ class BatchRunState(_RunState):
         # Classification guarantees an L1 miss (only this core fills its
         # L1; invalidations truncate runs): count it without re-probing.
         hier.l1s[core].stats.misses += 1
+        stride = self.stride
 
         if hier.victims[core].extract(block):
             t += self._t_victim
             for _ in hier._fill_l1(core, block, dirty=write):
                 self.dram.request(t, _HIGH)
-        else:
-            # Inlined Cache.access on the L2 (always LRU, read probe).
-            l2 = hier.l2
-            cache_set = l2._sets[block & l2._set_mask]
-            if block in cache_set:
-                cache_set[block] = cache_set.pop(block)
-                l2.stats.hits += 1
-                t += self._t_l2_dep if dep else self._t_l2_indep
-                for _ in hier._fill_l1(core, block, dirty=write):
-                    self.dram.request(t, _HIGH)
-                if self.stride is not None:
-                    self.stride.train(core, block, t)
-            else:
-                l2.stats.misses += 1
-                hier.off_chip_reads += 1
-                t = self._off_chip(core, block, t, dep, write)
-        self.clocks[core] = t
+            self.clocks[core] = t
+            return
+        # Inlined Cache.access on the L2 (always LRU, read probe).
+        l2 = hier.l2
+        cache_set = l2._sets[block & l2._set_mask]
+        if block in cache_set:
+            cache_set[block] = cache_set.pop(block)
+            l2.stats.hits += 1
+            t += self._t_l2_dep if dep else self._t_l2_indep
+            for _ in hier._fill_l1(core, block, dirty=write):
+                self.dram.request(t, _HIGH)
+            if stride is not None:
+                stride.train(core, block, t)
+            self.clocks[core] = t
+            return
+        l2.stats.misses += 1
+        hier.off_chip_reads += 1
 
-    def _off_chip(self, core, block, t, dep, write):
-        """Off-chip resolution, operation-for-operation the scalar path.
+        # --- Off-chip resolution (the scalar `_off_chip`). ---
 
-        Mirrors :meth:`repro.sim.engine._RunState._off_chip` with
-        constants hoisted and single-use accessors inlined; any change
-        there must be replicated here (the equivalence tests catch
-        drift).
-        """
-        measuring = self.measuring
-        stride = self.stride
+        # 1. Stride prefetcher buffer (part of the base system), with
+        # PrefetchBuffer.take inlined.
+        if stride is not None:
+            stride_buffer = stride.buffers[core]
+            entry = stride_buffer._entries.pop(block, None)
+            if entry is not None:
+                stride_buffer._forget(entry)
+                stride.stats.useful += 1
+                self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
+                if measuring:
+                    self.coverage.stride_covered += 1
+                t += self._t_stride_dep if dep else self._t_stride_indep
+                self._fill(core, block, write, t)
+                stride.train(core, block, t)
+                self.clocks[core] = t
+                return
 
-        # 1. Stride prefetcher buffer (part of the base system).
-        if stride is not None and stride.buffers[core].take(
-            block
-        ) is not None:
-            stride.stats.useful += 1
-            self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
-            if measuring:
-                self.coverage.stride_covered += 1
-            t += self._t_stride_dep if dep else self._t_stride_indep
-            self._fill(core, block, write, t)
-            stride.train(core, block, t)
-            return t
-
-        # 2. Temporal prefetcher buffer.
+        # 2. Temporal prefetcher buffer.  The STMS path probes with the
+        # record's pre-classified bucket/tag (no per-event hashing) and
+        # the buffer-hit bookkeeping of TemporalPrefetcher.consume
+        # inlined ahead of the pre-hashed prefetch-hit hook.
         temporal = self.temporal
+        bucket = tag = 0
+        stms_buckets = self._stms_buckets
         if temporal is not None:
-            entry = temporal.consume(core, block, t)
+            if stms_buckets is not None:
+                bucket = stms_buckets[core][i]
+                tag = self._stms_tags[core][i]
+                temporal_buffer = temporal.buffers[core]
+                entry = temporal_buffer._entries.pop(block, None)
+                if entry is not None:
+                    temporal_buffer._forget(entry)
+                    temporal.stats.useful += 1
+                    self._traffic_bytes[_USEFUL_PREFETCH] += BLOCK_BYTES
+                    temporal._prefetch_hit_hashed(core, block, t, bucket, tag)
+            else:
+                entry = temporal.consume(core, block, t)
             if entry is not None:
                 if entry.arrival <= t:
                     if measuring:
@@ -358,13 +440,23 @@ class BatchRunState(_RunState):
                 self._fill(core, block, write, t)
                 if stride is not None:
                     stride.train(core, block, t)
-                return t
+                self.clocks[core] = t
+                return
 
         # 3. Demand fetch from main memory.
         issue = t
         window = self.outstanding[core]
         if window:
-            window[:] = [c for c in window if c > issue]
+            # In-place expiry sweep (a listcomp would build a frame per
+            # event on 3.11); same resulting contents as the scalar
+            # engine's rebuild.
+            keep = 0
+            for completion_time in window:
+                if completion_time > issue:
+                    window[keep] = completion_time
+                    keep += 1
+            if keep != len(window):
+                del window[keep:]
             while len(window) >= self._miss_window:
                 issue = min(window)
                 window.remove(issue)
@@ -400,11 +492,38 @@ class BatchRunState(_RunState):
             dram_stats.queue_cycles += start - issue
             completion = start + dram._access_latency_cycles + service
             self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
-            mshrs.allocate(block, completion)
+            # Inlined MshrFile.allocate (capacity was enforced above, and
+            # ``existing is None`` rules out a duplicate entry).
+            mshr_entries = mshrs._entries
+            mshr_entries[block] = MshrEntry(block, completion)
+            heappush(mshrs._heap, (completion, block))
+            if completion < mshrs._min_complete:
+                mshrs._min_complete = completion
+            mshr_stats = mshrs.stats
+            mshr_stats.allocations += 1
+            occupancy = len(mshr_entries)
+            if occupancy > mshr_stats.peak_occupancy:
+                mshr_stats.peak_occupancy = occupancy
         if measuring:
             self.coverage.uncovered += 1
-            if self.mlp is not None:
-                self.mlp.add(core, issue, completion)
+            mlp_accs = self._mlp_accs
+            if mlp_accs is not None:
+                # Inlined _IntervalAccumulator.add (completion > issue:
+                # retirement already dropped entries at or before issue).
+                acc = mlp_accs[core]
+                acc.total += completion - issue
+                acc.count += 1
+                current_end = acc._current_end
+                if current_end < 0:
+                    acc._current_start = issue
+                    acc._current_end = completion
+                elif issue <= current_end:
+                    if completion > current_end:
+                        acc._current_end = completion
+                else:
+                    acc.union += current_end - acc._current_start
+                    acc._current_start = issue
+                    acc._current_end = completion
             if self.miss_log is not None:
                 self.miss_log[core].append(block)
         if dep:
@@ -414,22 +533,102 @@ class BatchRunState(_RunState):
             t = issue + self._t_miss_overhead
             window.append(completion)
         self._fill(core, block, write, t)
-        if self.temporal is not None:
-            self.temporal.on_demand_miss(core, block, issue)
+        if temporal is not None:
+            if stms_buckets is not None:
+                temporal.on_demand_miss_hashed(
+                    core, block, issue, bucket, tag
+                )
+            else:
+                temporal.on_demand_miss(core, block, issue)
         if stride is not None:
             stride.train(core, block, t)
-        return t
+        self.clocks[core] = t
 
     def _fill(self, core, block, write, now):
-        # fill_off_chip with the writeback list reused across events
-        # (core indices are range-validated at trace admission).
+        # fill_off_chip with the writeback list reused across events and
+        # the L2 fill inlined (operation-for-operation
+        # ``CmpHierarchy._l2_fill`` with ``dirty=False``; core indices
+        # are range-validated at trace admission).
         writebacks = self._scratch_writebacks
         writebacks.clear()
         hier = self.hierarchy
-        hier._l2_fill(block, False, writebacks)
-        hier._fill_l1_into(core, block, write, writebacks)
-        for _ in writebacks:
-            self.dram.request(now, _HIGH)
+        l2 = hier.l2
+        cache_set = l2._sets[block & l2._set_mask]
+        if block in cache_set:
+            # Refill of a resident block refreshes LRU (dirty unchanged).
+            cache_set[block] = cache_set.pop(block)
+        else:
+            victim_block = None
+            if len(cache_set) >= self._l2_ways:
+                victim_block = next(iter(cache_set))
+                victim_dirty = cache_set.pop(victim_block)
+                l2_stats = l2.stats
+                l2_stats.evictions += 1
+                if victim_dirty:
+                    l2_stats.dirty_evictions += 1
+            cache_set[block] = False
+            l2.stats.fills += 1
+            l2._version += 1
+            if victim_block is not None:
+                # Inlined CmpHierarchy._handle_l2_eviction (the no-L1-copy
+                # case is the overwhelmingly common one).
+                copies_mask = hier._l1_copies.pop(victim_block, 0)
+                if copies_mask:
+                    victim_dirty = hier._invalidate_copies(
+                        victim_block, copies_mask, victim_dirty
+                    )
+                if victim_dirty:
+                    self._traffic_bytes[_WRITEBACK] += BLOCK_BYTES
+                    writebacks.append(Eviction(victim_block, True))
+        # Inlined CmpHierarchy._fill_l1_into over the dict-backed L1
+        # (TagBatchRunState overrides _fill with the generic calls).
+        l1 = hier.l1s[core]
+        l1_set = l1._sets[block & l1._set_mask]
+        copies = hier._l1_copies
+        bit = 1 << core
+        l1_victim = None
+        if block in l1_set:
+            l1_set[block] = l1_set.pop(block) or write
+        else:
+            if len(l1_set) >= self._l1_ways:
+                victim_block = next(iter(l1_set))
+                victim_dirty = l1_set.pop(victim_block)
+                l1_stats = l1.stats
+                l1_stats.evictions += 1
+                if victim_dirty:
+                    l1_stats.dirty_evictions += 1
+                l1_victim = (victim_block, victim_dirty)
+            l1_set[block] = write
+            l1.stats.fills += 1
+            l1._version += 1
+        copies[block] = copies.get(block, 0) | bit
+        if l1_victim is not None:
+            victim_block, victim_dirty = l1_victim
+            mask = copies.get(victim_block, 0) & ~bit
+            if mask:
+                copies[victim_block] = mask
+            else:
+                copies.pop(victim_block, None)
+            # Inlined VictimBuffer.insert (FIFO over evicted L1 blocks).
+            capacity = self._victim_capacity
+            if capacity <= 0:
+                if victim_dirty:
+                    hier._l2_fill(victim_block, True, writebacks)
+            else:
+                fifo = hier.victims[core]._fifo
+                if victim_block in fifo:
+                    fifo[victim_block] = fifo[victim_block] or victim_dirty
+                else:
+                    if len(fifo) >= capacity:
+                        displaced = next(iter(fifo))
+                        displaced_dirty = fifo.pop(displaced)
+                        if displaced_dirty:
+                            hier._l2_fill(displaced, True, writebacks)
+                    fifo[victim_block] = victim_dirty
+        if writebacks:
+            dram = self.dram
+            for _ in writebacks:
+                dram.request(now, _HIGH)
 
     def _truncate_runs(
         self, invalidations: "list[tuple[int, int]]"
@@ -475,7 +674,22 @@ class TagBatchRunState(BatchRunState):
     dominate (the suite's L1-filtered traces).
     """
 
+    __slots__ = ()
+
     L1_KIND = "tag"
+
+    def _fill(self, core, block, write, now):
+        # The flat dict-L1 fill above does not apply to the tag-array
+        # L1 model: take the generic hierarchy path.
+        writebacks = self._scratch_writebacks
+        writebacks.clear()
+        hier = self.hierarchy
+        hier._l2_fill(block, False, writebacks)
+        hier._fill_l1_into(core, block, write, writebacks)
+        if writebacks:
+            dram = self.dram
+            for _ in writebacks:
+                dram.request(now, _HIGH)
 
 
 def _native_columns(trace):

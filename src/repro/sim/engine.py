@@ -123,6 +123,8 @@ class _RunState:
     #: the batched engine overrides this with the NumPy tag arrays).
     L1_KIND = "dict"
 
+    __slots__ = ('config', 'trace', 'traffic', 'hierarchy', 'dram', 'mshrs', 'stride', 'temporal', 'coverage', 'mlp', 'miss_log', 'outstanding', 'clocks', 'cursors', 'measure_start', 'measured_records', 'measuring')
+
     def __init__(
         self,
         config: SimConfig,

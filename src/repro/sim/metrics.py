@@ -18,7 +18,7 @@ Definitions follow the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 from repro.memory.traffic import TrafficBreakdown
 from repro.prefetchers.base import PrefetcherStats
@@ -121,6 +121,139 @@ class MlpTracker:
         if total_count == 0:
             return 0.0
         return total_weighted / total_count
+
+
+def snapshot_run_state(state) -> dict:
+    """Deep snapshot of one engine run's observable machine state.
+
+    Captures everything the differential-equivalence suite compares
+    between the scalar reference engine and the batched engines: per-core
+    clocks and cursors, cache/victim contents and counters, traffic
+    bytes per category (which the batched path accumulates from segment
+    sums), DRAM and MSHR state, stride-prefetcher tables, and — when the
+    temporal prefetcher is STMS — the full off-chip metadata state:
+    index-table buckets, history buffers (including un-spilled pack
+    segments), bucket-buffer residency, stream engines, and sampler
+    counters.
+
+    L1 contents are compared as sorted ``(block, dirty)`` sets so the
+    dict-backed and tag-array L1 models snapshot identically.
+    """
+    hierarchy = state.hierarchy
+    snap: dict = {
+        "clocks": list(state.clocks),
+        "cursors": list(state.cursors),
+        "measured_records": state.measured_records,
+        "coverage": astuple(state.coverage),
+        "demand_accesses": hierarchy.demand_accesses,
+        "off_chip_reads": hierarchy.off_chip_reads,
+        "l1": [
+            (
+                astuple(l1.stats),
+                sorted(
+                    (block, bool(l1.peek_dirty(block)))
+                    for block in l1.resident_blocks()
+                ),
+            )
+            for l1 in hierarchy.l1s
+        ],
+        "victims": [
+            (victim.hits, list(victim._fifo.items()))
+            for victim in hierarchy.victims
+        ],
+        "l2": (
+            astuple(hierarchy.l2.stats),
+            sorted(
+                (block, bool(hierarchy.l2.peek_dirty(block)))
+                for block in hierarchy.l2.resident_blocks()
+            ),
+        ),
+        "l1_copies": dict(hierarchy._l1_copies),
+        "traffic": {
+            category.value: count
+            for category, count in state.traffic._bytes.items()
+        },
+        "dram": (
+            astuple(state.dram.stats),
+            state.dram._busy_until_high,
+            state.dram._busy_until_all,
+        ),
+        "mshr": (
+            astuple(state.mshrs.stats),
+            sorted(
+                (entry.block, entry.complete_at, entry.waiters)
+                for entry in state.mshrs._entries.values()
+            ),
+        ),
+        "outstanding": [sorted(window) for window in state.outstanding],
+    }
+    stride = state.stride
+    if stride is not None:
+        snap["stride"] = (
+            astuple(stride.stats),
+            [
+                sorted((region, tuple(entry)) for region, entry
+                       in tracker.items())
+                for tracker in stride._trackers
+            ],
+            [
+                (list(buffer._entries.items()),
+                 dict(buffer._stream_counts))
+                for buffer in stride.buffers
+            ],
+        )
+    temporal = state.temporal
+    if temporal is not None:
+        snap["temporal_stats"] = astuple(temporal.stats)
+        snap["temporal_buffers"] = [
+            (list(buffer._entries.items()), dict(buffer._stream_counts))
+            for buffer in temporal.buffers
+        ]
+        if hasattr(temporal, "bucket_buffer"):
+            snap["stms"] = {
+                "counters": astuple(temporal.counters),
+                "sampler": (
+                    temporal.sampler.flips,
+                    temporal.sampler.accepted,
+                ),
+                "index": (
+                    astuple(temporal.index.stats),
+                    [
+                        temporal.index.bucket_contents(bucket)
+                        for bucket in range(temporal.index.buckets)
+                    ],
+                ),
+                "histories": [
+                    (
+                        history.head,
+                        astuple(history.stats),
+                        list(history._blocks),
+                        list(history._marks),
+                        list(history._pend_blocks),
+                        list(history._pend_marks),
+                    )
+                    for history in temporal.histories
+                ],
+                "bucket_buffer": (
+                    astuple(temporal.bucket_buffer.stats),
+                    list(temporal.bucket_buffer._resident.items()),
+                ),
+                "engines": [
+                    (
+                        engine.serial,
+                        engine.active,
+                        engine.source_core,
+                        engine.next_fetch_sequence,
+                        engine.paused_at,
+                        list(engine._queue),
+                        list(engine._issued.items()),
+                        engine.last_consumed,
+                        engine.consumed_count,
+                    )
+                    for engine in temporal.engines
+                ],
+            }
+    return snap
 
 
 @dataclass

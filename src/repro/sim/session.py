@@ -138,6 +138,14 @@ class SimSession:
         self.max_memory_results = max_memory_results
         self.stats = SessionStats()
         self._traces: "dict[tuple, Trace]" = {}
+        #: Keys seeded into the memory tier from a disk entry that has
+        #: not been *looked up* yet.  The disk read is attributed as a
+        #: store hit on the first lookup, not at priming time —
+        #: otherwise one acquisition would be double-counted (a store
+        #: hit when primed plus a memory hit when first used, which is
+        #: exactly what happens when the memory tier shadows a disk
+        #: entry warmed by another process in the same run).
+        self._primed: "set[tuple]" = set()
         self._results: "OrderedDict[tuple, SimResult]" = OrderedDict()
 
     def attach_store(self, store: "ArtifactStore | None") -> None:
@@ -164,7 +172,13 @@ class SimSession:
         if self.enabled:
             cached = self._traces.get(key)
             if cached is not None:
-                self.stats.trace_hits += 1
+                if key in self._primed:
+                    # First lookup of a primed entry: this is the disk
+                    # read's attribution (exactly once per acquisition).
+                    self._primed.discard(key)
+                    self.stats.trace_store_hits += 1
+                else:
+                    self.stats.trace_hits += 1
                 return cached
             if self.store is not None:
                 loaded = self.store.load_trace(trace_digest(key))
@@ -211,8 +225,10 @@ class SimSession:
         trace = load_trace_ref(ref)
         if trace is None:
             return False
-        self.stats.trace_store_hits += 1
+        # No counter here: the store hit is attributed on first lookup
+        # (see ``trace``), so priming + use counts one acquisition once.
         self._traces[key] = trace
+        self._primed.add(key)
         return True
 
     # ------------------------------------------------------------------
@@ -294,6 +310,7 @@ class SimSession:
     def clear(self) -> None:
         """Drop all memory-tier entries (the disk store is untouched)."""
         self._traces.clear()
+        self._primed.clear()
         self._results.clear()
 
 

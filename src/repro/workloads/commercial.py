@@ -12,7 +12,10 @@ coverage-vs-history-size curves of Figure 5.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.workloads.base import (
     ACTIVITY_NOISE,
@@ -127,12 +130,19 @@ class CommercialGenerator(TraceGenerator):
             zipf_alpha=params.zipf_alpha,
         )
         rng = context.rng
+        rng_random = rng.random
         activity_p = params.mix.probabilities()
+        # bisect over the normalized CDF consumes exactly one uniform
+        # draw and picks exactly the index ``rng.choice(4, p=...)``
+        # would — same trace, ~15x cheaper per activity draw.
+        cdf = np.asarray(activity_p, dtype=np.float64).cumsum()
+        cdf /= cdf[-1]
+        activity_cdf = cdf.tolist()
         builders = [TraceBuilder() for _ in range(cores)]
 
         for builder in builders:
             while len(builder) < records_per_core:
-                activity = rng.choice(4, p=activity_p)
+                activity = bisect_right(activity_cdf, rng_random())
                 if activity == ACTIVITY_STREAM:
                     self._emit_traversal(builder, pool, context)
                 elif activity == ACTIVITY_SCAN:
@@ -155,25 +165,36 @@ class CommercialGenerator(TraceGenerator):
         pool: StreamPool,
         context: GeneratorContext,
     ) -> None:
-        """Walk one recurring structure, with early exits and noise."""
+        """Walk one recurring structure, with early exits and noise.
+
+        ``TraceBuilder.add`` and ``_work_cycles`` are inlined — this
+        loop emits the bulk of every commercial trace — with the draw
+        order of the record fields kept exactly as the unrolled calls
+        made them.
+        """
         params = self.params
-        rng = context.rng
-        stream = pool.pick()
-        for block in stream:
-            builder.add(
-                int(block),
-                work=self._work_cycles(rng, params.work_cycles),
-                dep=rng.random() < params.stream_dep_p,
-                write=rng.random() < params.write_p,
-            )
-            if rng.random() < params.interleave_noise_p:
-                builder.add(
-                    context.next_noise(),
-                    work=self._work_cycles(rng, params.work_cycles),
-                    dep=rng.random() < params.noise_dep_p,
-                    write=False,
-                )
-            if rng.random() < params.truncate_p:
+        rng_random = context.rng.random
+        work_mean = params.work_cycles
+        stream_dep_p = params.stream_dep_p
+        write_p = params.write_p
+        interleave_noise_p = params.interleave_noise_p
+        noise_dep_p = params.noise_dep_p
+        truncate_p = params.truncate_p
+        blocks = builder._blocks
+        work = builder._work
+        dep = builder._dep
+        write = builder._write
+        for block in pool.pick():
+            blocks.append(int(block))
+            work.append(work_mean * (0.5 + rng_random()))
+            dep.append(rng_random() < stream_dep_p)
+            write.append(rng_random() < write_p)
+            if rng_random() < interleave_noise_p:
+                blocks.append(context.next_noise())
+                work.append(work_mean * (0.5 + rng_random()))
+                dep.append(rng_random() < noise_dep_p)
+                write.append(False)
+            if rng_random() < truncate_p:
                 break
 
     def _emit_scan(
@@ -205,11 +226,15 @@ class CommercialGenerator(TraceGenerator):
         self, builder: TraceBuilder, context: GeneratorContext
     ) -> None:
         params = self.params
-        rng = context.rng
+        rng_random = context.rng.random
+        hot_mean = params.work_cycles * 0.3
+        write_p = params.write_p
+        blocks = builder._blocks
+        work = builder._work
+        dep = builder._dep
+        write = builder._write
         for _ in range(params.hot_run):
-            builder.add(
-                context.hot_block(),
-                work=self._work_cycles(rng, params.work_cycles * 0.3),
-                dep=False,
-                write=rng.random() < params.write_p,
-            )
+            blocks.append(context.hot_block())
+            work.append(hot_mean * (0.5 + rng_random()))
+            dep.append(False)
+            write.append(rng_random() < write_p)

@@ -10,7 +10,10 @@ recurring component from dimension-table and index traversals.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.workloads.base import (
     ACTIVITY_NOISE,
@@ -103,12 +106,19 @@ class DssGenerator(TraceGenerator):
             zipf_alpha=params.zipf_alpha,
         )
         rng = context.rng
+        rng_random = rng.random
         activity_p = params.mix.probabilities()
+        # bisect over the normalized CDF consumes exactly one uniform
+        # draw and picks exactly the index ``rng.choice(4, p=...)``
+        # would — same trace, ~15x cheaper per activity draw.
+        cdf = np.asarray(activity_p, dtype=np.float64).cumsum()
+        cdf /= cdf[-1]
+        activity_cdf = cdf.tolist()
         builders = [TraceBuilder() for _ in range(cores)]
 
         for builder in builders:
             while len(builder) < records_per_core:
-                activity = rng.choice(4, p=activity_p)
+                activity = bisect_right(activity_cdf, rng_random())
                 if activity == ACTIVITY_STREAM:
                     self._emit_traversal(builder, pool, context)
                 elif activity == ACTIVITY_SCAN:
@@ -150,14 +160,22 @@ class DssGenerator(TraceGenerator):
         pool: StreamPool,
         context: GeneratorContext,
     ) -> None:
+        # TraceBuilder.add and _work_cycles inlined; the field draw
+        # order matches the unrolled calls exactly.
         params = self.params
-        rng = context.rng
+        rng_random = context.rng.random
+        work_mean = params.work_cycles
+        stream_dep_p = params.stream_dep_p
+        write_p = params.write_p
+        truncate_p = params.truncate_p
+        blocks = builder._blocks
+        work = builder._work
+        dep = builder._dep
+        write = builder._write
         for block in pool.pick():
-            builder.add(
-                int(block),
-                work=self._work_cycles(rng, params.work_cycles),
-                dep=rng.random() < params.stream_dep_p,
-                write=rng.random() < params.write_p,
-            )
-            if rng.random() < params.truncate_p:
+            blocks.append(int(block))
+            work.append(work_mean * (0.5 + rng_random()))
+            dep.append(rng_random() < stream_dep_p)
+            write.append(rng_random() < write_p)
+            if rng_random() < truncate_p:
                 break

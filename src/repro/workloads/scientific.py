@@ -130,20 +130,26 @@ class ScientificGenerator(TraceGenerator):
     ) -> None:
         params = self.params
         rng = context.rng
-        for block, dep in zip(iteration, dep_flags):
-            builder.add(
-                int(block),
-                work=self._work_cycles(rng, params.work_cycles),
-                dep=bool(dep),
-                write=rng.random() < params.write_p,
-            )
-            if rng.random() < params.noise_p:
-                builder.add(
-                    context.next_noise(),
-                    work=self._work_cycles(rng, params.work_cycles),
-                    dep=False,
-                    write=False,
-                )
+        rng_random = rng.random
+        work_mean = params.work_cycles
+        write_p = params.write_p
+        noise_p = params.noise_p
+        blocks_column = builder._blocks
+        work_column = builder._work
+        dep_column = builder._dep
+        write_column = builder._write
+        # TraceBuilder.add and _work_cycles inlined; the field draw
+        # order matches the unrolled calls exactly.
+        for block, dep in zip(iteration.tolist(), dep_flags.tolist()):
+            blocks_column.append(block)
+            work_column.append(work_mean * (0.5 + rng_random()))
+            dep_column.append(dep)
+            write_column.append(rng_random() < write_p)
+            if rng_random() < noise_p:
+                blocks_column.append(context.next_noise())
+                work_column.append(work_mean * (0.5 + rng_random()))
+                dep_column.append(False)
+                write_column.append(False)
         sweep_work = (
             params.sweep_work_cycles
             if params.sweep_work_cycles is not None

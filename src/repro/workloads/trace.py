@@ -112,7 +112,13 @@ class Trace:
         )
 
     def save(self, path: str) -> None:
-        """Persist the trace as a compressed ``.npz`` archive."""
+        """Persist the trace as an ``.npz`` archive.
+
+        Uncompressed: trace columns deflate poorly (random block
+        numbers), and the compressor dominated cold-store runs.
+        :meth:`load` reads both formats, so stores written before this
+        change stay valid.
+        """
         payload: dict[str, np.ndarray] = {
             "meta_name": np.array([self.name]),
             "meta_working_set": np.array([self.working_set_blocks]),
@@ -125,7 +131,7 @@ class Trace:
             payload[f"dep_{core}"] = self.dep[core]
             payload[f"write_{core}"] = self.write[core]
         with open(path, "wb") as handle:
-            np.savez_compressed(handle, **payload)
+            np.savez(handle, **payload)
 
     @classmethod
     def load(cls, path: str) -> "Trace":

@@ -130,6 +130,53 @@ class TestReads:
         assert entries == []
 
 
+class TestMidRunFlush:
+    """A partial flush de-aligns the pack buffer; reads must still be
+    exact (regression for the segment-committed append path)."""
+
+    def test_read_spans_committed_and_pending_after_partial_flush(self):
+        history = make_history()
+        for i in range(5):
+            history.append(100 + i, now=0.0)
+        history.flush(now=0.0)  # commits an unaligned partial segment
+        for i in range(8):
+            history.append(200 + i, now=0.0)
+        entries, _ = history.read_block(3, now=0.0)
+        assert [e.sequence for e in entries] == list(range(3, 12))
+        assert [e.block for e in entries] == [103, 104] + [
+            200 + i for i in range(7)
+        ]
+
+    def test_peek_and_annotate_after_partial_flush(self):
+        history = make_history()
+        for i in range(5):
+            history.append(100 + i, now=0.0)
+        history.flush(now=0.0)
+        for i in range(4):
+            history.append(200 + i, now=0.0)
+        assert history.peek(2).block == 102  # committed side
+        assert history.peek(7).block == 202  # pending side
+        assert history.annotate(7, now=0.0)
+        assert history.peek(7).marked
+
+    def test_unaligned_commit_wraps_circular_boundary(self):
+        history = make_history(capacity_entries=24)
+        for i in range(17):
+            history.append(i, now=0.0)
+        history.flush(now=0.0)  # head=17: pack buffer now unaligned
+        # The next spill covers sequences 17..28, wrapping slot 24 -> 0.
+        for i in range(12):
+            history.append(500 + i, now=0.0)
+        for sequence in range(history.oldest_valid, history.head):
+            entry = history.peek(sequence)
+            expected = (
+                sequence if sequence < 17 else 500 + (sequence - 17)
+            )
+            assert entry is not None and entry.block == expected
+        entries, _ = history.read_block(24, now=0.0)
+        assert [e.block for e in entries] == [507, 508, 509, 510, 511]
+
+
 class TestAnnotations:
     def test_annotate_sets_mark(self):
         history = make_history()

@@ -1,0 +1,235 @@
+"""Differential fuzzing: batched engines vs. the scalar reference.
+
+The equivalence suite (`test_engine_equivalence.py`) checks suite
+workloads at fixed configurations; this harness drives *randomized*
+machine configurations x trace recipes through the scalar reference
+engine and the batched engine(s), asserting **bit-identical** end state:
+per-core clocks and stats, every traffic counter, cache and victim
+contents, DRAM/MSHR state, and the complete STMS metadata state (index
+buckets, history buffers with un-spilled pack segments, bucket-buffer
+residency, stream engines, sampler counters) via
+:func:`repro.sim.metrics.snapshot_run_state`.
+
+Each seed fully determines the case, so failures replay exactly:
+
+    pytest "tests/sim/test_engine_differential.py::test_differential[17]"
+
+The fast tier runs a small pinned seed set; the nightly-depth sweep
+(``pytest -m slow``) runs a much wider band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import StmsConfig
+from repro.memory.address import BLOCK_BYTES
+from repro.memory.hierarchy import CmpConfig
+from repro.sim.batch import BatchRunState, TagBatchRunState
+from repro.sim.engine import SimConfig, _RunState
+from repro.sim.metrics import snapshot_run_state
+from repro.sim.runner import PrefetcherKind, make_factory
+from repro.sim.timing import TimingModel
+from repro.workloads.trace import Trace
+
+#: Fast-tier seeds: a fixed, replayable sample across the config space.
+FAST_SEEDS = tuple(range(8))
+#: Nightly-depth seeds (behind the ``slow`` marker).
+SLOW_SEEDS = tuple(range(8, 56))
+
+
+def _random_trace(rng: np.random.Generator, cores: int) -> Trace:
+    """A randomized multi-motif trace: streams, hot sets, strides, noise.
+
+    Streams are shared across cores so index lookups can locate another
+    core's history (the cross-core STMS path); strides exercise the base
+    prefetcher; noise and truncation exercise stream divergence.
+    """
+    records = int(rng.integers(400, 1400))
+    span = int(rng.integers(300, 6000))
+    streams = [
+        rng.integers(0, span, size=int(rng.integers(4, 28)))
+        for _ in range(int(rng.integers(2, 7)))
+    ]
+    hot = rng.integers(0, span, size=int(rng.integers(4, 20)))
+    blocks_per_core = []
+    for _ in range(cores):
+        seq: "list[int]" = []
+        while len(seq) < records:
+            motif = rng.random()
+            if motif < 0.35:
+                stream = streams[int(rng.integers(0, len(streams)))]
+                cut = int(rng.integers(1, len(stream) + 1))
+                seq.extend(int(b) for b in stream[:cut])
+            elif motif < 0.55:
+                seq.extend(
+                    int(hot[int(rng.integers(0, len(hot)))])
+                    for _ in range(int(rng.integers(1, 6)))
+                )
+            elif motif < 0.75:
+                base = int(rng.integers(0, span))
+                stride = int(rng.integers(1, 5))
+                seq.extend(
+                    base + stride * k
+                    for k in range(int(rng.integers(3, 12)))
+                )
+            else:
+                seq.append(int(rng.integers(0, span)))
+        blocks_per_core.append(np.asarray(seq[:records], dtype=np.int64))
+    dep_p = float(rng.uniform(0.2, 0.95))
+    write_p = float(rng.uniform(0.0, 0.4))
+    return Trace(
+        name=f"fuzz-{records}",
+        blocks=blocks_per_core,
+        work=[
+            rng.uniform(5.0, 150.0, size=records).astype(np.float32)
+            for _ in range(cores)
+        ],
+        dep=[rng.random(records) < dep_p for _ in range(cores)],
+        write=[rng.random(records) < write_p for _ in range(cores)],
+        working_set_blocks=span + 64,
+        warmup_fraction=float(rng.choice([0.0, 0.2, 0.4])),
+    )
+
+
+def _random_machine(rng: np.random.Generator, cores: int) -> SimConfig:
+    l1_ways = int(rng.choice([1, 2]))
+    l1_sets = int(rng.choice([2, 4, 8]))
+    l2_ways = int(rng.choice([2, 4]))
+    l2_sets = int(rng.choice([8, 16, 32]))
+    return SimConfig(
+        cmp=CmpConfig(
+            cores=cores,
+            l1_size_bytes=l1_sets * l1_ways * BLOCK_BYTES,
+            l1_ways=l1_ways,
+            l1_victim_blocks=int(rng.choice([0, 2, 4])),
+            l2_size_bytes=l2_sets * l2_ways * BLOCK_BYTES,
+            l2_ways=l2_ways,
+            l2_banks=4,
+            l2_mshrs=int(rng.choice([2, 4, 16])),
+        ),
+        timing=TimingModel(
+            core_miss_window=int(rng.choice([1, 2, 8])),
+        ),
+        use_stride=bool(rng.random() < 0.8),
+        track_mlp=True,
+        collect_miss_log=bool(rng.random() < 0.3),
+    )
+
+
+def _random_prefetcher(rng: np.random.Generator, cores: int):
+    """Mostly STMS (the metadata path under test), sometimes others."""
+    roll = rng.random()
+    if roll < 0.70:
+        queue = int(rng.choice([4, 8, 24]))
+        config = StmsConfig(
+            cores=cores,
+            history_entries=int(rng.choice([24, 48, 192])),
+            index_buckets=int(rng.choice([16, 64, 256])),
+            bucket_entries=int(rng.choice([2, 4, 12])),
+            sampling_probability=float(
+                rng.choice([0.0, 0.125, 0.5, 1.0])
+            ),
+            bucket_buffer_entries=int(rng.choice([2, 8, 32])),
+            prefetch_buffer_blocks=int(rng.choice([4, 8, 32])),
+            lookahead=int(rng.choice([2, 6, 12])),
+            address_queue_entries=queue,
+            queue_refill_threshold=int(rng.integers(0, queue + 1)),
+            tag_bits=[None, 8, 12, 16][int(rng.integers(0, 4))],
+            annotate_stream_ends=bool(rng.random() < 0.8),
+            seed=int(rng.integers(0, 2**31)),
+        )
+        return PrefetcherKind.STMS, make_factory(
+            PrefetcherKind.STMS, config
+        )
+    if roll < 0.80:
+        return PrefetcherKind.BASELINE, None
+    kind = [
+        PrefetcherKind.IDEAL_TMS,
+        PrefetcherKind.FIXED_DEPTH,
+        PrefetcherKind.MARKOV,
+    ][int(rng.integers(0, 3))]
+    return kind, make_factory(kind)
+
+
+def _run_and_snapshot(state_class, config, trace, factory):
+    """Drive one engine through both phases; snapshot before result()."""
+    state = state_class(config, trace, factory)
+    state.run_warmup()
+    warm = snapshot_run_state(state)
+    state.reset_accounting()
+    state.run_measured()
+    final = snapshot_run_state(state)
+    result = state.result("fuzz")
+    return warm, final, result
+
+
+def _check_seed(seed: int, include_tag_engine: bool) -> None:
+    rng = np.random.default_rng(seed)
+    cores = int(rng.integers(1, 5))
+    trace = _random_trace(rng, cores)
+    config = _random_machine(rng, cores)
+
+    engines = [BatchRunState]
+    if include_tag_engine:
+        engines.append(TagBatchRunState)
+    # Each engine builds its own prefetcher from an identically seeded
+    # draw (factories capture config; the sampler is seeded), so the
+    # reported ``kind`` is the one actually simulated.
+    kind, reference_factory = _random_prefetcher(
+        np.random.default_rng(seed + 1), cores
+    )
+    reference = _run_and_snapshot(
+        _RunState, config, trace, reference_factory
+    )
+    for engine in engines:
+        prefetcher_rng = np.random.default_rng(seed + 1)
+        _, factory = _random_prefetcher(prefetcher_rng, cores)
+        candidate = _run_and_snapshot(engine, config, trace, factory)
+        for phase, got, want in (
+            ("warmup", candidate[0], reference[0]),
+            ("final", candidate[1], reference[1]),
+        ):
+            assert got == want, (
+                f"seed {seed} ({kind.value}): {engine.__name__} "
+                f"diverged from scalar reference at {phase} snapshot"
+            )
+        assert dataclasses.astuple(candidate[2].coverage) == (
+            dataclasses.astuple(reference[2].coverage)
+        )
+        assert candidate[2].traffic == reference[2].traffic
+        assert candidate[2].elapsed_cycles == reference[2].elapsed_cycles
+        assert candidate[2].mlp == reference[2].mlp
+        assert candidate[2].miss_log == reference[2].miss_log
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_differential(seed):
+    _check_seed(seed, include_tag_engine=(seed % 2 == 0))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_differential_nightly(seed):
+    _check_seed(seed, include_tag_engine=True)
+
+
+def test_snapshot_captures_stms_metadata():
+    """The snapshot must actually contain the metadata the suite claims
+    to compare — guard against silent shrinkage of the contract."""
+    rng = np.random.default_rng(0)
+    trace = _random_trace(rng, 2)
+    config = _random_machine(rng, 2)
+    factory = make_factory(
+        PrefetcherKind.STMS, StmsConfig(cores=2, history_entries=24)
+    )
+    state = BatchRunState(config, trace, factory)
+    state.run_warmup()
+    snap = snapshot_run_state(state)
+    assert {"counters", "sampler", "index", "histories",
+            "bucket_buffer", "engines"} <= set(snap["stms"])
+    assert len(snap["stms"]["histories"]) == 2
+    assert snap["traffic"]  # per-category byte counters present

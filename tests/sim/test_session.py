@@ -130,6 +130,40 @@ class TestSimulationMemo:
         assert session.stats.trace_hits == 1
         assert session.stats.sim_hits == 1
 
+    def test_primed_trace_counts_one_acquisition_once(self, tmp_path):
+        """Regression: a memory-tier entry primed from a disk entry
+        (warmed by another process) must not be double-counted — the
+        old code booked a ``trace_store_hits`` at prime time *and* a
+        ``trace_hits`` at first use for the same acquisition."""
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        producer = SimSession(enabled=True, store=store)
+        producer.trace("web-apache", scale="test", cores=2, seed=3)
+        [entry] = [e for e in store.entries() if e.kind == "trace"]
+
+        consumer = SimSession(enabled=True, store=None)
+        assert consumer.prime_trace(
+            "web-apache", "test", 2, 3, None, store.trace_ref(entry.digest)
+        )
+        # Priming alone counts nothing: no lookup has happened yet.
+        assert consumer.stats.trace_store_hits == 0
+        assert consumer.stats.trace_hits == 0
+
+        consumer.trace("web-apache", scale="test", cores=2, seed=3)
+        consumer.trace("web-apache", scale="test", cores=2, seed=3)
+        stats = consumer.stats
+        # First lookup is the (single) disk attribution; later lookups
+        # are memory hits.  Invariant: hits across tiers + misses ==
+        # number of lookups.
+        assert stats.trace_store_hits == 1
+        assert stats.trace_hits == 1
+        assert stats.trace_misses == 0
+        assert (
+            stats.trace_hits + stats.trace_store_hits + stats.trace_misses
+            == 2
+        )
+
     def test_clear_drops_entries(self):
         session = SimSession(enabled=True)
         trace = make_trace([[1, 2, 3] * 50])

@@ -1,0 +1,81 @@
+"""Golden-figure regression gate: pinned fig5/fig7/fig8 outputs.
+
+Tiny test-scale runs of the STMS-dominated sweeps, with their full
+numeric payloads committed as JSON fixtures.  Any numeric drift — an
+engine change that is no longer bit-identical, a trace-generator change
+that alters RNG consumption, a timing-model tweak — fails here as a
+figure diff, not just as a unit-test failure.
+
+Regenerating (only when a drift is *intended*, e.g. a deliberate model
+change; mention it in the commit message)::
+
+    PYTHONPATH=src python tests/test_golden_figures.py --regenerate
+
+The comparison is exact (``==`` after a JSON round-trip on both sides):
+simulations are deterministic functions of (trace recipe, machine
+config, prefetcher config), so there is nothing to tolerate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.sim.session import SimSession
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_WORKLOADS = ("web-apache", "sci-ocean")
+GOLDEN_FIGURES = ("fig5-left", "fig5-right", "fig7", "fig8")
+
+
+def _compute(name: str) -> dict:
+    # A private, store-less session: golden runs must actually simulate.
+    session = SimSession(enabled=True, store=None)
+    result = EXPERIMENTS[name](
+        scale="test",
+        cores=2,
+        seed=7,
+        workloads=GOLDEN_WORKLOADS,
+        session=session,
+    )
+    # Round-trip through JSON so both sides use identical key/float
+    # representations (JSON object keys are strings).
+    return json.loads(json.dumps(result.data, sort_keys=True))
+
+
+def _fixture_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}_test_scale.json")
+
+
+@pytest.mark.parametrize("name", GOLDEN_FIGURES)
+def test_figure_matches_golden(name):
+    with open(_fixture_path(name)) as handle:
+        pinned = json.load(handle)
+    computed = _compute(name)
+    assert computed == pinned, (
+        f"{name} drifted from the pinned golden output; if the change "
+        "is intentional, regenerate via "
+        "`PYTHONPATH=src python tests/test_golden_figures.py --regenerate`"
+    )
+
+
+def _regenerate() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in GOLDEN_FIGURES:
+        payload = _compute(name)
+        with open(_fixture_path(name), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"regenerated {_fixture_path(name)}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
