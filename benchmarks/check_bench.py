@@ -1,0 +1,124 @@
+"""BENCH regression gate: compare the latest BENCH json to the baseline.
+
+The speedup harness writes a machine-readable ``BENCH_<stamp>.json``
+per invocation; CI runs it in ``--store`` mode and then calls this
+comparator, which fails the job when the *cold-store* wall time
+regressed more than the tolerance against the committed
+``benchmarks/BASELINE.json``.  Warm time is reported but not gated
+(it is dominated by process startup and disk cache noise at CI scale).
+
+Refreshing the baseline after an intentional performance change::
+
+    python benchmarks/speedup_harness.py --store --experiment fig4 \
+        --scale test
+    python benchmarks/check_bench.py --update
+
+Environment: ``REPRO_BENCH_TOLERANCE`` overrides ``--tolerance``
+(fraction, e.g. ``0.25``) — useful for noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "BASELINE.json")
+OUTPUT_DIR = os.path.join(HERE, "output")
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def latest_bench(
+    mode: str, experiment: str, scale: str
+) -> "tuple[str, dict] | None":
+    """The newest BENCH record matching the baseline's identity."""
+    candidates = sorted(glob.glob(os.path.join(OUTPUT_DIR, "BENCH_*.json")))
+    for path in reversed(candidates):
+        try:
+            record = _load(path)
+        except (OSError, ValueError):
+            continue
+        if (
+            record.get("mode") == mode
+            and record.get("experiment") == experiment
+            and record.get("scale") == scale
+        ):
+            return path, record
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=BASELINE_PATH,
+        help="baseline json (default: benchmarks/BASELINE.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed cold-time regression fraction (default: "
+        "REPRO_BENCH_TOLERANCE or 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the latest matching BENCH json",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        try:
+            tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", ""))
+        except ValueError:
+            tolerance = 0.25
+    baseline = _load(args.baseline)
+    found = latest_bench(
+        baseline["mode"], baseline["experiment"], baseline["scale"]
+    )
+    if found is None:
+        print(
+            f"no BENCH_*.json in {OUTPUT_DIR} matching "
+            f"{baseline['mode']}/{baseline['experiment']}"
+            f"@{baseline['scale']}; run the speedup harness first"
+        )
+        return 2
+    path, record = found
+
+    if args.update:
+        fresh = {
+            "mode": record["mode"],
+            "experiment": record["experiment"],
+            "scale": record["scale"],
+            "cold_s": record["cold_s"],
+            "warm_s": record["warm_s"],
+            "source_stamp": record.get("stamp"),
+        }
+        with open(args.baseline, "w") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated from {path}: cold {fresh['cold_s']:.2f}s")
+        return 0
+
+    cold = float(record["cold_s"])
+    budget = float(baseline["cold_s"]) * (1.0 + tolerance)
+    verdict = "OK" if cold <= budget else "REGRESSION"
+    print(
+        f"{baseline['experiment']}@{baseline['scale']} cold-store wall "
+        f"time: {cold:.2f}s vs baseline {baseline['cold_s']:.2f}s "
+        f"(budget {budget:.2f}s at +{tolerance:.0%}) -> {verdict}"
+    )
+    print(
+        f"  warm (ungated): {float(record['warm_s']):.2f}s "
+        f"(baseline {float(baseline['warm_s']):.2f}s), from {path}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

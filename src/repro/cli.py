@@ -37,7 +37,30 @@ from repro.sim.runner import (
 )
 from repro.sim.session import SimSession, set_session
 from repro.sim.store import ArtifactStore, default_store_dir
+from repro.workloads.mix import MIX_PRESETS, MixRecipe, is_mix
 from repro.workloads.suite import SCALES, WORKLOADS, workload_names
+
+
+def _workload_arg(value: str) -> str:
+    """Validate a workload argument: suite name, mix preset, or spec.
+
+    Mixes are accepted everywhere a homogeneous workload is (``run``,
+    ``compare``, ``cache warm``): ``mix:2xoltp-db2+2xdss-db2`` assigns
+    components to cores round-robin.
+    """
+    if value in WORKLOADS:
+        return value
+    if is_mix(value):
+        try:
+            MixRecipe.parse(value)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {value!r}; choose a suite workload "
+        f"({', '.join(sorted(WORKLOADS))}), a mix preset "
+        f"({', '.join(sorted(MIX_PRESETS))}), or a 'mix:<w>+<w>' spec"
+    )
 
 
 @contextlib.contextmanager
@@ -110,6 +133,32 @@ def _print_results(
             title=f"{workload}",
         )
     )
+    mix_rows = []
+    for kind, result in results.items():
+        if result.core_workloads is None:
+            continue
+        from repro.sim.metrics import per_workload_breakdown
+
+        for name, piece in sorted(per_workload_breakdown(result).items()):
+            mix_rows.append(
+                [
+                    kind.value,
+                    name,
+                    len(piece.cores),
+                    format_percent(piece.coverage.coverage),
+                    f"{piece.throughput:.4f}",
+                    f"{piece.mlp:.2f}",
+                ]
+            )
+    if mix_rows:
+        print(
+            format_table(
+                ["prefetcher", "workload", "cores", "coverage",
+                 "throughput", "mlp"],
+                mix_rows,
+                title="Per-workload split (multiprogrammed mix)",
+            )
+        )
 
 
 def cmd_list_workloads(_: argparse.Namespace) -> int:
@@ -137,6 +186,22 @@ def cmd_list_workloads(_: argparse.Namespace) -> int:
 def cmd_list_experiments(_: argparse.Namespace) -> int:
     rows = [[name] for name in sorted(EXPERIMENTS)]
     print(format_table(["experiment"], rows, title="Available experiments"))
+    return 0
+
+
+def cmd_list_mixes(_: argparse.Namespace) -> int:
+    rows = [
+        [name, spec, " ".join(MixRecipe.parse(spec).assign(4))]
+        for name, spec in sorted(MIX_PRESETS.items())
+    ]
+    print(
+        format_table(
+            ["preset", "spec", "4-core assignment"],
+            rows,
+            title="Multiprogrammed mix presets (or give any "
+            "'mix:<w>+<w>...' spec)",
+        )
+    )
     return 0
 
 
@@ -284,6 +349,8 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         ["total", _format_size(info["total_bytes"])],
         ["size cap", cap],
     ]
+    for name, value in sorted(info["counters"].items()):
+        rows.append([name.replace("_", " "), str(value)])
     print(format_table(["field", "value"], rows, title="Artifact store"))
     return 0
 
@@ -344,7 +411,8 @@ def cmd_cache_warm(args: argparse.Namespace) -> int:
         f"warmed {args.target} @ {args.scale} in {elapsed:.1f}s: "
         f"{stats.sim_misses} simulated, {stats.sim_hits} memory hits, "
         f"{stats.sim_store_hits} store hits "
-        f"({stats.trace_store_hits} trace store hits)"
+        f"({stats.trace_store_hits} trace store hits, "
+        f"{stats.bundle_skips} bundles skipped)"
     )
     if store is not None:
         print(
@@ -395,9 +463,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.set_defaults(entry=cmd_list_experiments)
 
+    sub = subparsers.add_parser(
+        "list-mixes", help="show multiprogrammed mix presets"
+    )
+    sub.set_defaults(entry=cmd_list_mixes)
+
     sub = subparsers.add_parser("run", help="simulate one prefetcher")
-    sub.add_argument("--workload", required=True,
-                     choices=sorted(WORKLOADS))
+    sub.add_argument(
+        "--workload", required=True, type=_workload_arg,
+        metavar="WORKLOAD|MIX",
+        help="suite workload, mix preset, or 'mix:<w>+<w>...' spec",
+    )
     sub.add_argument(
         "--prefetcher",
         default="stms",
@@ -413,8 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "compare", help="baseline vs ideal vs STMS on one workload"
     )
-    sub.add_argument("--workload", required=True,
-                     choices=sorted(WORKLOADS))
+    sub.add_argument(
+        "--workload", required=True, type=_workload_arg,
+        metavar="WORKLOAD|MIX",
+        help="suite workload, mix preset, or 'mix:<w>+<w>...' spec",
+    )
     add_common(sub)
     sub.set_defaults(entry=cmd_compare)
 
@@ -476,10 +555,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = cache_sub.add_parser(
         "warm", help="populate the store by running a figure or workload"
     )
+    def _warm_target(value: str) -> str:
+        if value in EXPERIMENTS:
+            return value
+        if is_mix(value):
+            # A mix spec with a bad component gets the specific
+            # diagnosis, not the generic target list.
+            return _workload_arg(value)
+        try:
+            return _workload_arg(value)
+        except argparse.ArgumentTypeError:
+            raise argparse.ArgumentTypeError(
+                f"unknown warm target {value!r}; choose an experiment "
+                f"({', '.join(sorted(EXPERIMENTS))}), a suite workload, "
+                "a mix preset, or a 'mix:<w>+<w>' spec"
+            ) from None
+
     sub.add_argument(
         "target",
-        choices=sorted(EXPERIMENTS) + sorted(WORKLOADS),
-        help="experiment id (all its simulations) or workload name "
+        type=_warm_target,
+        metavar="EXPERIMENT|WORKLOAD|MIX",
+        help="experiment id (all its simulations) or workload/mix name "
         "(baseline/ideal/STMS comparison)",
     )
     sub.add_argument(

@@ -17,6 +17,7 @@ fig7      traffic breakdown at 100% vs 12.5% sampling     fig7_traffic.run
 fig8      sampling-probability sweep                      fig8_sampling.run
 fig9      STMS vs. idealized TMS                          fig9_performance.run
 table2    MLP of off-chip reads                           table2_mlp.run
+mix-c..   multiprogrammed shared-L2/DRAM contention       mix_contention.run
 ========  ==============================================  =================
 """
 
@@ -29,6 +30,7 @@ from repro.experiments import (
     fig7_traffic,
     fig8_sampling,
     fig9_performance,
+    mix_contention,
     table2_mlp,
 )
 from repro.experiments.common import ExperimentResult, ShapeCheck
@@ -46,6 +48,7 @@ EXPERIMENTS = {
     "fig8": fig8_sampling.run,
     "fig9": fig9_performance.run,
     "table2": table2_mlp.run,
+    "mix-contention": mix_contention.run,
 }
 
 

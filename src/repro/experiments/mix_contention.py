@@ -1,0 +1,269 @@
+"""Multiprogrammed mixes under shared-L2 / DRAM-bandwidth contention.
+
+The paper's CMP setting puts STMS meta-data traffic on the same memory
+system as demand traffic from *other* programs.  This experiment
+co-schedules heterogeneous per-core mixes (OLTP beside DSS, web beside
+scientific) and sweeps the two shared resources — L2 capacity and DRAM
+bandwidth — comparing the base system against STMS at each point.
+
+Reported per (mix, machine point, prefetcher): aggregate coverage and
+speedup, DRAM-channel utilization, meta-data overhead per useful byte,
+and the per-workload split of coverage/throughput (which co-runner pays
+for the contention).  Paper-shaped claims checked: temporal streams
+survive co-scheduling, shrinking the shared L2 raises off-chip demand,
+throttled DRAM never helps, and STMS's lookup/history traffic is real
+(nonzero overhead bytes, higher channel utilization than the base
+system while it wins coverage).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_percent, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    check_monotone,
+    simulate_jobs,
+)
+from repro.sim.metrics import SimResult, per_workload_breakdown
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    make_sim_config,
+)
+from repro.sim.session import SimSession
+
+#: Default contention mixes (components cycle over the core count).
+DEFAULT_MIXES = (
+    "mix:oltp-db2+dss-db2",
+    "mix:web-apache+sci-em3d",
+    "mix:oltp-db2+web-zeus",
+)
+
+#: Shared-L2 capacity factors relative to the scale preset.
+L2_FACTORS = (0.5, 1.0, 2.0)
+#: DRAM peak-bandwidth factors (swept at the default L2 point).
+DRAM_FACTORS = (0.5,)
+
+_KINDS = (PrefetcherKind.BASELINE, PrefetcherKind.STMS)
+
+
+def _points(scale) -> "list[tuple[str, tuple, tuple]]":
+    """(label, cmp_overrides, dram_overrides) machine sweep points."""
+    base = make_sim_config(scale)
+    l2_base = base.cmp.l2_size_bytes
+    bw_base = base.dram.peak_bandwidth_gbps
+    points = [
+        (
+            f"l2x{factor:g}",
+            (("l2_size_bytes", int(l2_base * factor)),),
+            (),
+        )
+        for factor in L2_FACTORS
+    ]
+    points.extend(
+        (
+            f"dramx{factor:g}",
+            (),
+            (("peak_bandwidth_gbps", bw_base * factor),),
+        )
+        for factor in DRAM_FACTORS
+    )
+    return points
+
+
+def _off_chip_fraction(result: SimResult) -> float:
+    """Off-chip read misses per measured record (L2-pressure proxy)."""
+    coverage = result.coverage
+    reads = coverage.temporal_eligible + coverage.stride_covered
+    if result.measured_records <= 0:
+        return 0.0
+    return reads / result.measured_records
+
+
+def _sum_throughput(result: SimResult) -> float:
+    """Sum of per-core records/cycle — the co-run throughput metric."""
+    assert result.core_measured_records is not None
+    return sum(
+        result.core_throughput(core)
+        for core in range(len(result.core_measured_records))
+    )
+
+
+def run(
+    scale: str = "bench",
+    cores: int = 4,
+    seed: int = 7,
+    workloads: "tuple[str, ...] | None" = None,
+    runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
+) -> ExperimentResult:
+    """Regenerate the mix-contention sweep (``workloads`` = mix specs)."""
+    mixes = workloads if workloads is not None else DEFAULT_MIXES
+    points = _points(scale)
+
+    jobs = [
+        SimJob(
+            mix,
+            kind,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            cmp_overrides=cmp_overrides,
+            dram_overrides=dram_overrides,
+            tag=(mix, label, kind),
+        )
+        for mix in mixes
+        for label, cmp_overrides, dram_overrides in points
+        for kind in _KINDS
+    ]
+    results = simulate_jobs(jobs, runner, session)
+    by_tag: "dict[tuple, SimResult]" = {
+        job.tag: result for job, result in zip(jobs, results)
+    }
+
+    rows = []
+    data: "dict[str, dict]" = {}
+    for mix in mixes:
+        data[mix] = {}
+        for label, _, _ in points:
+            baseline = by_tag[(mix, label, PrefetcherKind.BASELINE)]
+            stms = by_tag[(mix, label, PrefetcherKind.STMS)]
+            point_data: "dict[str, dict]" = {}
+            for kind, result in (
+                ("baseline", baseline),
+                ("stms", stms),
+            ):
+                point_data[kind] = {
+                    "coverage": result.coverage.coverage,
+                    "off_chip_fraction": _off_chip_fraction(result),
+                    "throughput": _sum_throughput(result),
+                    "dram_utilization": result.dram_utilization,
+                    "overhead_per_useful_byte": (
+                        result.overhead_per_useful_byte
+                    ),
+                    "per_workload": {
+                        name: {
+                            "cores": piece.cores,
+                            "coverage": piece.coverage.coverage,
+                            "throughput": piece.throughput,
+                            "mlp": piece.mlp,
+                        }
+                        for name, piece in sorted(
+                            per_workload_breakdown(result).items()
+                        )
+                    },
+                }
+            point_data["speedup"] = stms.speedup_over(baseline)
+            data[mix][label] = point_data
+            rows.append(
+                [
+                    mix,
+                    label,
+                    format_percent(stms.coverage.coverage),
+                    f"{point_data['speedup']:.3f}x",
+                    f"{baseline.dram_utilization:.3f}",
+                    f"{stms.dram_utilization:.3f}",
+                    f"{stms.overhead_per_useful_byte:.3f}",
+                ]
+            )
+
+    per_workload_rows = []
+    for mix in mixes:
+        point = data[mix]["l2x1"]
+        for name, piece in point["stms"]["per_workload"].items():
+            base_piece = point["baseline"]["per_workload"][name]
+            per_workload_rows.append(
+                [
+                    mix,
+                    name,
+                    len(piece["cores"]),
+                    format_percent(piece["coverage"]),
+                    f"{base_piece['throughput']:.4f}",
+                    f"{piece['throughput']:.4f}",
+                ]
+            )
+
+    rendered = "\n\n".join(
+        [
+            format_table(
+                ["mix", "point", "stms cov", "speedup", "base util",
+                 "stms util", "overhead/byte"],
+                rows,
+                title="Mix contention: shared-L2 / DRAM sweep",
+            ),
+            format_table(
+                ["mix", "workload", "cores", "stms cov",
+                 "base thpt", "stms thpt"],
+                per_workload_rows,
+                title="Per-workload split at the default machine point",
+            ),
+        ]
+    )
+
+    checks = _shape_checks(mixes, data)
+    return ExperimentResult(
+        experiment="mix-contention",
+        title="Multiprogrammed mixes under shared-memory contention",
+        rendered=rendered,
+        data={"mixes": data},
+        checks=checks,
+    )
+
+
+def _shape_checks(
+    mixes: "tuple[str, ...]", data: "dict[str, dict]"
+) -> "list[ShapeCheck]":
+    covered = [
+        data[mix]["l2x1"]["stms"]["coverage"] for mix in mixes
+    ]
+    l2_monotone = 0
+    for mix in mixes:
+        fractions = [
+            data[mix][f"l2x{factor:g}"]["baseline"]["off_chip_fraction"]
+            for factor in L2_FACTORS
+        ]
+        if check_monotone(fractions, increasing=False, tolerance=0.005):
+            l2_monotone += 1
+    throttled_ok = all(
+        data[mix]["dramx0.5"]["stms"]["throughput"]
+        <= data[mix]["l2x1"]["stms"]["throughput"] * 1.02
+        for mix in mixes
+    )
+    overhead_real = all(
+        data[mix]["l2x1"]["stms"]["overhead_per_useful_byte"] > 0.0
+        for mix in mixes
+    )
+    util_up = sum(
+        1
+        for mix in mixes
+        if data[mix]["l2x1"]["stms"]["dram_utilization"]
+        >= data[mix]["l2x1"]["baseline"]["dram_utilization"] - 1e-9
+    )
+    return [
+        ShapeCheck(
+            claim="Temporal streams survive co-scheduling (STMS covers "
+            "misses on every mix)",
+            passed=all(value > 0.0 for value in covered),
+            detail=f"min coverage = {min(covered):.1%}",
+        ),
+        ShapeCheck(
+            claim="Shrinking the shared L2 raises off-chip demand "
+            "pressure (baseline, per mix)",
+            passed=l2_monotone == len(mixes),
+            detail=f"{l2_monotone}/{len(mixes)} mixes monotone",
+        ),
+        ShapeCheck(
+            claim="Halving DRAM bandwidth never improves co-run "
+            "throughput",
+            passed=throttled_ok,
+        ),
+        ShapeCheck(
+            claim="STMS meta-data traffic is real: nonzero overhead "
+            "bytes and no lower channel utilization than the base "
+            "system on most mixes",
+            passed=overhead_real and util_up * 2 >= len(mixes),
+            detail=f"util >= baseline on {util_up}/{len(mixes)} mixes",
+        ),
+    ]

@@ -392,6 +392,7 @@ class BatchRunState(_RunState):
                 self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
                 if measuring:
                     self.coverage.stride_covered += 1
+                    self.core_coverage[core].stride_covered += 1
                 t += self._t_stride_dep if dep else self._t_stride_indep
                 self._fill(core, block, write, t)
                 stride.train(core, block, t)
@@ -422,10 +423,12 @@ class BatchRunState(_RunState):
                 if entry.arrival <= t:
                     if measuring:
                         self.coverage.fully_covered += 1
+                        self.core_coverage[core].fully_covered += 1
                     t += self._t_pf_dep if dep else self._t_pf_indep
                 else:
                     if measuring:
                         self.coverage.partially_covered += 1
+                        self.core_coverage[core].partially_covered += 1
                     if dep:
                         # A demand hit on an in-flight prefetch upgrades
                         # it to demand urgency (see the reference
@@ -506,6 +509,7 @@ class BatchRunState(_RunState):
                 mshr_stats.peak_occupancy = occupancy
         if measuring:
             self.coverage.uncovered += 1
+            self.core_coverage[core].uncovered += 1
             mlp_accs = self._mlp_accs
             if mlp_accs is not None:
                 # Inlined _IntervalAccumulator.add (completion > issue:

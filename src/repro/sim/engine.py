@@ -123,7 +123,7 @@ class _RunState:
     #: the batched engine overrides this with the NumPy tag arrays).
     L1_KIND = "dict"
 
-    __slots__ = ('config', 'trace', 'traffic', 'hierarchy', 'dram', 'mshrs', 'stride', 'temporal', 'coverage', 'mlp', 'miss_log', 'outstanding', 'clocks', 'cursors', 'measure_start', 'measured_records', 'measuring')
+    __slots__ = ('config', 'trace', 'traffic', 'hierarchy', 'dram', 'mshrs', 'stride', 'temporal', 'coverage', 'core_coverage', 'mlp', 'miss_log', 'outstanding', 'clocks', 'cursors', 'measure_start', 'measure_cursor', 'measured_records', 'measuring')
 
     def __init__(
         self,
@@ -153,6 +153,9 @@ class _RunState:
                 self.hierarchy.l2.lookup,
             )
         self.coverage = CoverageCounts()
+        #: Per-core coverage tallies (mix-aware breakdowns); the
+        #: aggregate above stays authoritative for the headline metric.
+        self.core_coverage = [CoverageCounts() for _ in range(trace.cores)]
         self.mlp = MlpTracker(trace.cores) if config.track_mlp else None
         self.miss_log: "list[list[int]] | None" = (
             [[] for _ in range(trace.cores)]
@@ -167,6 +170,7 @@ class _RunState:
         self.clocks = [0.0] * trace.cores
         self.cursors = [0] * trace.cores
         self.measure_start = [0.0] * trace.cores
+        self.measure_cursor = [0] * trace.cores
         self.measured_records = 0
         self.measuring = False
 
@@ -193,7 +197,11 @@ class _RunState:
         if self.temporal is not None:
             self.temporal.stats = PrefetcherStats()
         self.coverage = CoverageCounts()
+        self.core_coverage = [
+            CoverageCounts() for _ in range(self.trace.cores)
+        ]
         self.measure_start = list(self.clocks)
+        self.measure_cursor = list(self.cursors)
         self.measuring = True
 
     def run_measured(self) -> None:
@@ -267,6 +275,7 @@ class _RunState:
             self.traffic.add_blocks(TrafficCategory.DEMAND_READ)
             if self.measuring:
                 self.coverage.stride_covered += 1
+                self.core_coverage[core].stride_covered += 1
             t += timing.stride_hit(dep)
             self._fill(core, block, write, t)
             self.stride.train(core, block, t)
@@ -279,10 +288,12 @@ class _RunState:
                 if entry.is_arrived(t):
                     if self.measuring:
                         self.coverage.fully_covered += 1
+                        self.core_coverage[core].fully_covered += 1
                     t += timing.prefetch_hit(dep)
                 else:
                     if self.measuring:
                         self.coverage.partially_covered += 1
+                        self.core_coverage[core].partially_covered += 1
                     if dep:
                         # A demand hit on an in-flight prefetch upgrades
                         # it to demand urgency: the wait is capped at what
@@ -327,6 +338,7 @@ class _RunState:
             self.mshrs.allocate(block, completion)
         if self.measuring:
             self.coverage.uncovered += 1
+            self.core_coverage[core].uncovered += 1
             if self.mlp is not None:
                 self.mlp.add(core, issue, completion)
             if self.miss_log is not None:
@@ -357,10 +369,11 @@ class _RunState:
     # ------------------------------------------------------------------
 
     def result(self, label: str) -> SimResult:
-        elapsed = max(
-            self.clocks[core] - self.measure_start[core]
-            for core in range(self.trace.cores)
-        )
+        cores = range(self.trace.cores)
+        core_elapsed = [
+            self.clocks[core] - self.measure_start[core] for core in cores
+        ]
+        elapsed = max(core_elapsed)
         l1_hits = sum(l1.stats.hits for l1 in self.hierarchy.l1s)
         victim_hits = sum(v.hits for v in self.hierarchy.victims)
         return SimResult(
@@ -382,4 +395,18 @@ class _RunState:
             ),
             dram_utilization=self.dram.utilization(max(elapsed, 1.0)),
             miss_log=self.miss_log,
+            core_workloads=(
+                list(self.trace.core_workloads)
+                if self.trace.core_workloads is not None
+                else None
+            ),
+            core_coverage=list(self.core_coverage),
+            core_measured_records=[
+                self.cursors[core] - self.measure_cursor[core]
+                for core in cores
+            ],
+            core_elapsed_cycles=core_elapsed,
+            core_mlp=(
+                self.mlp.per_core() if self.mlp is not None else None
+            ),
         )

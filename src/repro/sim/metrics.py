@@ -18,7 +18,7 @@ Definitions follow the paper:
 
 from __future__ import annotations
 
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, fields
 
 from repro.memory.traffic import TrafficBreakdown
 from repro.prefetchers.base import PrefetcherStats
@@ -122,6 +122,18 @@ class MlpTracker:
             return 0.0
         return total_weighted / total_count
 
+    def per_core(self) -> "list[float]":
+        """Per-core MLP values (0.0 for cores with no off-chip misses).
+
+        ``finish`` is idempotent, so this composes with :meth:`result`
+        in either order.
+        """
+        values: "list[float]" = []
+        for accumulator in self._accumulators:
+            accumulator.finish()
+            values.append(accumulator.mlp if accumulator.count else 0.0)
+        return values
+
 
 def snapshot_run_state(state) -> dict:
     """Deep snapshot of one engine run's observable machine state.
@@ -186,6 +198,7 @@ def snapshot_run_state(state) -> dict:
             ),
         ),
         "outstanding": [sorted(window) for window in state.outstanding],
+        "core_coverage": [astuple(c) for c in state.core_coverage],
     }
     stride = state.stride
     if stride is not None:
@@ -284,6 +297,33 @@ class SimResult:
     dram_utilization: float = 0.0
     #: Per-core off-chip miss-address sequences (when collected).
     miss_log: "list[list[int]] | None" = None
+    #: Per-core workload identity for multiprogrammed mixes (None when
+    #: every core ran ``workload``).
+    core_workloads: "list[str] | None" = None
+    #: Per-core coverage tallies (sum equals :attr:`coverage`).
+    core_coverage: "list[CoverageCounts] | None" = None
+    #: Records each core committed during the measured phase.
+    core_measured_records: "list[int] | None" = None
+    #: Measured-phase cycles each core ran for.
+    core_elapsed_cycles: "list[float] | None" = None
+    #: Per-core MLP of uncovered off-chip reads.
+    core_mlp: "list[float] | None" = None
+
+    def workload_of(self, core: int) -> str:
+        """The workload that ran on ``core``."""
+        if self.core_workloads is not None:
+            return self.core_workloads[core]
+        return self.workload
+
+    def core_throughput(self, core: int) -> float:
+        """One core's committed records per cycle (requires per-core
+        accounting, i.e. a result produced by this repo's engines)."""
+        assert self.core_measured_records is not None
+        assert self.core_elapsed_cycles is not None
+        elapsed = self.core_elapsed_cycles[core]
+        if elapsed <= 0:
+            return 0.0
+        return self.core_measured_records[core] / elapsed
 
     @property
     def throughput(self) -> float:
@@ -301,3 +341,58 @@ class SimResult:
         if self.elapsed_cycles <= 0:
             return 0.0
         return baseline.elapsed_cycles / self.elapsed_cycles
+
+
+@dataclass
+class WorkloadSlice:
+    """One workload's share of a (possibly multiprogrammed) result."""
+
+    workload: str
+    cores: "list[int]" = field(default_factory=list)
+    coverage: CoverageCounts = field(default_factory=CoverageCounts)
+    measured_records: int = 0
+    #: Sum over this workload's cores of per-core records/cycle — the
+    #: co-run throughput its instances achieved together.
+    throughput: float = 0.0
+    #: Off-chip-miss-weighted mean MLP across this workload's cores.
+    mlp: float = 0.0
+
+
+def per_workload_breakdown(result: SimResult) -> "dict[str, WorkloadSlice]":
+    """Group a result's per-core accounting by per-core workload.
+
+    For a homogeneous trace this returns a single slice keyed by the
+    result's workload name; for a mix, one slice per distinct component,
+    which is how the contention experiments compare how each co-runner
+    fared.  Requires per-core accounting (results simulated before the
+    per-core counters existed are dropped by the store's schema stamp).
+    """
+    assert result.core_coverage is not None, "per-core accounting missing"
+    assert result.core_measured_records is not None
+    assert result.core_elapsed_cycles is not None
+    slices: "dict[str, WorkloadSlice]" = {}
+    mlp_weight: "dict[str, float]" = {}
+    for core in range(len(result.core_coverage)):
+        name = result.workload_of(core)
+        piece = slices.get(name)
+        if piece is None:
+            piece = slices[name] = WorkloadSlice(workload=name)
+            mlp_weight[name] = 0.0
+        piece.cores.append(core)
+        core_cov = result.core_coverage[core]
+        for field_ in fields(CoverageCounts):
+            setattr(
+                piece.coverage,
+                field_.name,
+                getattr(piece.coverage, field_.name)
+                + getattr(core_cov, field_.name),
+            )
+        piece.measured_records += result.core_measured_records[core]
+        piece.throughput += result.core_throughput(core)
+        if result.core_mlp is not None and core_cov.uncovered > 0:
+            piece.mlp += result.core_mlp[core] * core_cov.uncovered
+            mlp_weight[name] += core_cov.uncovered
+    for name, piece in slices.items():
+        if mlp_weight[name] > 0:
+            piece.mlp /= mlp_weight[name]
+    return slices

@@ -31,13 +31,20 @@ from typing import Sequence
 
 from repro.core.config import StmsConfig
 from repro.core.stms import StmsPrefetcher
+from repro.memory.dram import DramConfig
 from repro.memory.hierarchy import CmpConfig
 from repro.prefetchers.fixed_depth import FixedDepthPrefetcher
 from repro.prefetchers.ideal_tms import IdealTmsPrefetcher
 from repro.prefetchers.markov import MarkovPrefetcher
 from repro.sim.engine import SimConfig, TemporalFactory
 from repro.sim.metrics import SimResult
-from repro.sim.session import SessionStats, SimSession, _freeze, get_session
+from repro.sim.session import (
+    SessionStats,
+    SimSession,
+    _freeze,
+    get_session,
+    trace_recipe_key,
+)
 from repro.sim.store import ArtifactStore, TraceRef, trace_digest
 from repro.workloads.suite import ScalePreset, get_scale
 from repro.workloads.trace import Trace
@@ -62,13 +69,24 @@ class PrefetcherKind(Enum):
 def make_sim_config(
     scale: "str | ScalePreset" = "bench",
     use_stride: bool = True,
+    cmp_overrides: "tuple[tuple[str, object], ...]" = (),
+    dram_overrides: "tuple[tuple[str, object], ...]" = (),
 ) -> SimConfig:
-    """Machine configuration scaled consistently with the workloads."""
+    """Machine configuration scaled consistently with the workloads.
+
+    ``cmp_overrides`` / ``dram_overrides`` replace individual fields of
+    the scaled :class:`CmpConfig` / :class:`DramConfig` (absolute
+    values, applied *after* preset scaling) — the contention sweeps use
+    them to vary shared-L2 capacity and DRAM bandwidth per job.
+    """
     preset = get_scale(scale)
-    return SimConfig(
-        cmp=CmpConfig().scaled(preset.cache_scale),
-        use_stride=use_stride,
-    )
+    cmp = CmpConfig().scaled(preset.cache_scale)
+    if cmp_overrides:
+        cmp = replace(cmp, **dict(cmp_overrides))
+    dram = DramConfig()
+    if dram_overrides:
+        dram = replace(dram, **dict(dram_overrides))
+    return SimConfig(cmp=cmp, dram=dram, use_stride=use_stride)
 
 
 def make_stms_config(
@@ -263,18 +281,60 @@ class SimJob:
     stms_overrides: "tuple[tuple[str, object], ...]" = ()
     #: Extra ``make_factory`` options (depth, lookup_rounds, ...).
     factory_options: "tuple[tuple[str, object], ...]" = ()
+    #: Machine-geometry overrides (absolute ``CmpConfig`` field values,
+    #: e.g. ``(("l2_size_bytes", 131072),)`` for a contention sweep).
+    cmp_overrides: "tuple[tuple[str, object], ...]" = ()
+    #: DRAM-channel overrides (absolute ``DramConfig`` field values).
+    dram_overrides: "tuple[tuple[str, object], ...]" = ()
     #: Caller correlation tag (ignored by execution and caching).
     tag: "object | None" = field(default=None, compare=False)
 
     def trace_key(self) -> tuple:
         """Grouping key: jobs sharing it simulate the same trace."""
-        return (
+        return trace_recipe_key(
             self.workload,
-            _freeze(get_scale(self.scale)),
+            get_scale(self.scale),
             self.cores,
             self.seed,
             self.records_per_core,
         )
+
+
+def _job_configs(
+    job: SimJob, cores: int
+) -> "tuple[SimConfig, StmsConfig | None]":
+    """The machine and (for STMS) prefetcher configuration of one job.
+
+    Factored out of :func:`run_job` so the store-aware scheduler can
+    compute a job's exact cache key without executing it.
+    """
+    sim_config = make_sim_config(
+        job.scale,
+        use_stride=job.use_stride,
+        cmp_overrides=job.cmp_overrides,
+        dram_overrides=job.dram_overrides,
+    )
+    if job.collect_miss_log:
+        sim_config = replace(sim_config, collect_miss_log=True)
+    stms_config = None
+    if job.kind is PrefetcherKind.STMS:
+        stms_config = make_stms_config(
+            job.scale, cores=cores, **dict(job.stms_overrides)
+        )
+    return sim_config, stms_config
+
+
+def job_result_key(job: SimJob, trace: Trace) -> tuple:
+    """The session/store content key ``run_job`` would cache under."""
+    sim_config, stms_config = _job_configs(job, trace.cores)
+    temporal_key = (
+        job.kind.value,
+        _freeze(stms_config),
+        tuple(sorted(dict(job.factory_options).items())),
+    )
+    return SimSession.result_key(
+        trace, sim_config, temporal_key, job.kind.value
+    )
 
 
 def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
@@ -288,14 +348,7 @@ def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
         seed=job.seed,
         records_per_core=job.records_per_core,
     )
-    sim_config = make_sim_config(job.scale, use_stride=job.use_stride)
-    if job.collect_miss_log:
-        sim_config = replace(sim_config, collect_miss_log=True)
-    stms_config = None
-    if job.kind is PrefetcherKind.STMS:
-        stms_config = make_stms_config(
-            job.scale, cores=trace.cores, **dict(job.stms_overrides)
-        )
+    sim_config, stms_config = _job_configs(job, trace.cores)
     return run_trace(
         trace,
         job.kind,
@@ -426,10 +479,44 @@ class ExperimentRunner:
         groups: "dict[tuple, list[int]]" = {}
         for index, job in enumerate(jobs):
             groups.setdefault(job.trace_key(), []).append(index)
-        if not self.parallel or len(groups) < 2:
-            return [run_job(job, session) for job in jobs]
         results: "list[SimResult | None]" = [None] * len(jobs)
         store = session.store if session.enabled else None
+        # Store-aware scheduling: persisted results are served straight
+        # from the store; a bundle that hits entirely is skipped (no
+        # worker, no trace regeneration), a partial hit shrinks to its
+        # missing jobs so nothing persisted is ever computed — or read
+        # from disk — twice.
+        if store is not None:
+            skipped = 0
+            for trace_key in list(groups):
+                indices = groups[trace_key]
+                probe = self._probe_bundle(
+                    session, trace_key, [jobs[i] for i in indices]
+                )
+                if probe is None:
+                    continue
+                missing = []
+                for i, result in zip(indices, probe):
+                    if result is None:
+                        missing.append(i)
+                    else:
+                        results[i] = result
+                if missing:
+                    groups[trace_key] = missing
+                else:
+                    del groups[trace_key]
+                    skipped += 1
+            if skipped:
+                session.stats.bundle_skips += skipped
+                store.bump_counter("bundle_skips", skipped)
+        if not groups:
+            return results  # type: ignore[return-value]
+        pending = [i for indices in groups.values() for i in indices]
+        pending.sort()
+        if not self.parallel or len(groups) < 2:
+            for i in pending:
+                results[i] = run_job(jobs[i], session)
+            return results  # type: ignore[return-value]
         store_root = store.root if store is not None else None
         stats_before = replace(session.stats)
         try:
@@ -477,8 +564,33 @@ class ExperimentRunner:
             # (adopted results stay: they are valid and make the serial
             # pass cheaper).
             session.stats = stats_before
-            return [run_job(job, session) for job in jobs]
+            for i in pending:
+                results[i] = run_job(jobs[i], session)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _probe_bundle(
+        session: SimSession, trace_key: tuple, bundle_jobs: "list[SimJob]"
+    ) -> "list[SimResult | None] | None":
+        """Per-job cache probe of one bundle (None entries = misses).
+
+        Returns None outright when the bundle's trace is in neither
+        tier — without it no result key can be computed, and the bundle
+        runs normally.
+        """
+        store = session.store
+        if store is None:
+            return None
+        trace = session.cached_trace(trace_key)
+        if trace is None:
+            trace = store.load_trace(trace_digest(trace_key))
+            if trace is None:
+                return None
+            session.adopt_trace(trace_key, trace)
+        return [
+            session.lookup_result(job_result_key(job, trace))
+            for job in bundle_jobs
+        ]
 
     def run_grid(
         self,

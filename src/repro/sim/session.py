@@ -66,6 +66,9 @@ class SessionStats:
     sim_store_hits: int = 0
     sim_misses: int = 0
     memory_evictions: int = 0
+    #: Whole job bundles the runner served from the store without
+    #: spawning a worker (store-aware scheduling).
+    bundle_skips: int = 0
 
 
 def _freeze(value):
@@ -97,6 +100,10 @@ def trace_fingerprint(trace: Trace) -> str:
     digest.update(trace.name.encode())
     digest.update(str(trace.warmup_fraction).encode())
     digest.update(str(trace.working_set_blocks).encode())
+    if trace.core_workloads is not None:
+        digest.update(repr(tuple(trace.core_workloads)).encode())
+    if trace.core_warmup is not None:
+        digest.update(repr(tuple(trace.core_warmup)).encode())
     for core in range(trace.cores):
         for column in (trace.blocks, trace.work, trace.dep, trace.write):
             array = np.asarray(column[core])
@@ -114,7 +121,16 @@ def trace_recipe_key(
     seed: int,
     records_per_core: "int | None",
 ) -> tuple:
-    """The canonical trace cache key; equals ``SimJob.trace_key()``."""
+    """The canonical trace cache key; equals ``SimJob.trace_key()``.
+
+    Mix workloads are canonicalized first, so every spelling of the
+    same recipe (``mix:a+a``, ``mix:2xa``, a preset name) addresses one
+    store entry.
+    """
+    from repro.workloads.mix import MixRecipe, is_mix
+
+    if is_mix(workload):
+        workload = MixRecipe.parse(workload).name
     return (workload, _freeze(preset), cores, seed, records_per_core)
 
 
@@ -231,6 +247,22 @@ class SimSession:
         self._primed.add(key)
         return True
 
+    def cached_trace(self, key: tuple) -> "Trace | None":
+        """Memory-tier trace lookup (no generation, no counters)."""
+        if not self.enabled:
+            return None
+        return self._traces.get(key)
+
+    def adopt_trace(self, key: tuple, trace: Trace) -> None:
+        """Seed the memory tier with a store-read trace the caller is
+        using *right now* (the store-aware scheduler fingerprints it
+        immediately).  Unlike :meth:`prime_trace` the acquisition is
+        attributed here — deferring it would count nothing when the
+        bundle is skipped and no later lookup ever happens."""
+        if self.enabled and key not in self._traces:
+            self._traces[key] = trace
+            self.stats.trace_store_hits += 1
+
     # ------------------------------------------------------------------
     # Simulation.
     # ------------------------------------------------------------------
@@ -255,13 +287,42 @@ class SimSession:
             return Simulator(sim_config).run(
                 trace, temporal_factory, label=label
             )
-        key = (
+        key = self.result_key(trace, sim_config, temporal_key, label)
+        cached = self.lookup_result(key)
+        if cached is not None:
+            return cached
+        self.stats.sim_misses += 1
+        result = Simulator(sim_config).run(
+            trace, temporal_factory, label=label
+        )
+        self._remember(key, result)
+        if self.store is not None:
+            self.store.save_result(result_digest(key), result)
+        return result
+
+    @staticmethod
+    def result_key(
+        trace: Trace, sim_config: SimConfig, temporal_key, label: str
+    ) -> tuple:
+        """The content key one simulation is cached under (both tiers)."""
+        return (
             trace_fingerprint(trace),
             _freeze(sim_config),
             resolve_engine(sim_config.engine),
             _freeze(temporal_key),
             label,
         )
+
+    def lookup_result(self, key: tuple) -> "SimResult | None":
+        """Probe both tiers for a result key without simulating.
+
+        The store-aware runner uses this to decide whether a whole job
+        bundle can be served without spawning a worker.  Hits count in
+        :attr:`stats` exactly as :meth:`simulate` hits do; a miss
+        counts nothing (the caller decides what happens next).
+        """
+        if not self.enabled:
+            return None
         cached = self._results.get(key)
         if cached is not None:
             self.stats.sim_hits += 1
@@ -273,14 +334,7 @@ class SimSession:
                 self.stats.sim_store_hits += 1
                 self._remember(key, loaded)
                 return loaded
-        self.stats.sim_misses += 1
-        result = Simulator(sim_config).run(
-            trace, temporal_factory, label=label
-        )
-        self._remember(key, result)
-        if self.store is not None:
-            self.store.save_result(result_digest(key), result)
-        return result
+        return None
 
     def _remember(self, key: tuple, result: SimResult) -> None:
         """Admit a result to the memory tier, evicting LRU past the cap."""

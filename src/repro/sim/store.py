@@ -46,9 +46,12 @@ from repro.workloads.trace import Trace
 #: timing-model changes, trace-generator changes...).  The version is
 #: part of every content digest, so a bump orphans all old entries;
 #: stores whose root stamp differs are additionally cleared on open.
-SCHEMA_VERSION = 1
+#: v2: traces carry per-core workload/warm-up metadata and results
+#: carry per-core coverage/records/cycles/MLP (multiprogrammed mixes).
+SCHEMA_VERSION = 2
 
 _SCHEMA_FILE = "schema.json"
+_COUNTERS_FILE = "counters.json"
 _TMP_PREFIX = ".tmp-"
 
 #: Errors that mean "this entry is unreadable", as opposed to bugs.
@@ -184,6 +187,25 @@ def encode_result(result: SimResult) -> dict:
         "miss_log": None
         if result.miss_log is None
         else [[int(block) for block in core] for core in result.miss_log],
+        "core_workloads": result.core_workloads,
+        "core_coverage": None
+        if result.core_coverage is None
+        else [
+            {
+                f.name: int(getattr(core_coverage, f.name))
+                for f in fields(CoverageCounts)
+            }
+            for core_coverage in result.core_coverage
+        ],
+        "core_measured_records": None
+        if result.core_measured_records is None
+        else [int(n) for n in result.core_measured_records],
+        "core_elapsed_cycles": None
+        if result.core_elapsed_cycles is None
+        else [float(c) for c in result.core_elapsed_cycles],
+        "core_mlp": None
+        if result.core_mlp is None
+        else [float(m) for m in result.core_mlp],
     }
 
 
@@ -210,6 +232,13 @@ def decode_result(payload: dict) -> SimResult:
         else PrefetcherStats(**stats),
         dram_utilization=payload["dram_utilization"],
         miss_log=payload["miss_log"],
+        core_workloads=payload["core_workloads"],
+        core_coverage=None
+        if payload["core_coverage"] is None
+        else [CoverageCounts(**c) for c in payload["core_coverage"]],
+        core_measured_records=payload["core_measured_records"],
+        core_elapsed_cycles=payload["core_elapsed_cycles"],
+        core_mlp=payload["core_mlp"],
     )
 
 
@@ -550,6 +579,48 @@ class ArtifactStore:
         if self._running_total > self.max_bytes:
             self.gc(self.max_bytes)
 
+    # ------------------------------------------------------------------
+    # Persistent operational counters.
+    # ------------------------------------------------------------------
+
+    def _counters_path(self) -> str:
+        return os.path.join(self.root, _COUNTERS_FILE)
+
+    def counters(self) -> "dict[str, int]":
+        """Store-lifetime counters (e.g. runner bundle skips).
+
+        Unlike :attr:`stats` these survive the process: they live in a
+        ``counters.json`` beside the schema stamp, so ``cache stats``
+        can report behaviour accumulated across CLI runs and CI jobs.
+        """
+        try:
+            with open(self._counters_path(), "rb") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except _CORRUPT_ERRORS:
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        return {
+            str(key): int(value)
+            for key, value in raw.items()
+            if isinstance(value, (int, float))
+        }
+
+    def bump_counter(self, name: str, delta: int = 1) -> None:
+        """Increment a persistent counter (read-modify-write; a lost
+        race under-counts, which is acceptable for telemetry)."""
+        counters = self.counters()
+        counters[name] = counters.get(name, 0) + delta
+        try:
+            self._atomic_write_bytes(
+                self._counters_path(),
+                json.dumps(counters, sort_keys=True).encode(),
+            )
+        except OSError:
+            self.stats.write_errors += 1
+
     def clear(self) -> int:
         """Remove every entry (the store directory itself survives)."""
         removed = 0
@@ -576,6 +647,7 @@ class ArtifactStore:
             "result_bytes": sum(e.size_bytes for e in results),
             "total_bytes": sum(e.size_bytes for e in entries),
             "max_bytes": self.max_bytes,
+            "counters": self.counters(),
             "age_seconds": (
                 time.time() - min(e.mtime for e in entries)
                 if entries

@@ -22,6 +22,12 @@ from repro.workloads.base import (
 )
 from repro.workloads.commercial import CommercialGenerator, CommercialParams
 from repro.workloads.dss import DssGenerator, DssParams
+from repro.workloads.mix import (
+    MIX_PRESETS,
+    MixRecipe,
+    generate_mix,
+    is_mix,
+)
 from repro.workloads.scientific import ScientificGenerator, ScientificParams
 from repro.workloads.suite import (
     WORKLOADS,
@@ -40,6 +46,10 @@ __all__ = [
     "CommercialParams",
     "DssGenerator",
     "DssParams",
+    "MIX_PRESETS",
+    "MixRecipe",
+    "generate_mix",
+    "is_mix",
     "ScientificGenerator",
     "ScientificParams",
     "WORKLOADS",

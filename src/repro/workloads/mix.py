@@ -1,0 +1,198 @@
+"""Multiprogrammed workload mixes: heterogeneous per-core co-schedules.
+
+The paper evaluates STMS on a CMP whose meta-data traffic competes with
+demand traffic in a *shared* memory system.  Homogeneous runs replicate
+one workload across every core; a :class:`MixRecipe` instead assigns a
+(possibly different) suite workload to each core — 2x OLTP next to 2x
+DSS, a web server beside a scientific code — so shared-L2 capacity and
+DRAM bandwidth contention between *unlike* miss streams can be measured.
+
+Semantics follow multiprogramming, not parallel execution:
+
+* every core runs an **independent program instance** with its own
+  deterministic RNG stream (derived from the mix seed and the core
+  index via ``numpy.random.SeedSequence``), so two cores running the
+  same workload share no structures and no addresses;
+* per-core address spaces are **disjoint** — each core's blocks are
+  offset past every previous core's footprint — so co-runners contend
+  for cache capacity and bandwidth without ever aliasing data;
+* per-core trace lengths and warm-up fractions follow each component
+  workload (iterative codes keep their longer traces), recorded on the
+  trace as ``core_workloads`` / ``core_warmup``.
+
+Mixes are addressed by a canonical spec string, ``mix:<w>+<w>+...``
+(with an ``NxW`` repeat shorthand), that doubles as the workload name
+everywhere a homogeneous name is accepted: :func:`repro.workloads.suite
+.generate` dispatches on it, so session/trace recipe keys, the
+content-addressed artifact store, and :class:`repro.sim.runner.SimJob`
+grids cache mix traces exactly like homogeneous ones.
+
+>>> from repro.workloads.mix import MixRecipe
+>>> MixRecipe.parse("mix:2xoltp-db2+2xdss-db2").assign(4)
+('oltp-db2', 'oltp-db2', 'dss-db2', 'dss-db2')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+#: Spec-string prefix marking a multiprogrammed mix.
+MIX_PREFIX = "mix:"
+
+#: Named recipes for the paper-motivated contention scenarios.  Each
+#: preset cycles over the available cores, so ``mix-oltp-dss`` means
+#: "alternate OLTP and DSS cores" at any core count.
+MIX_PRESETS: "dict[str, str]" = {
+    "mix-oltp-dss": "mix:oltp-db2+dss-db2",
+    "mix-web-sci": "mix:web-apache+sci-em3d",
+    "mix-commercial": "mix:oltp-db2+web-zeus",
+    "mix-hetero": "mix:oltp-db2+web-apache+dss-db2+sci-ocean",
+}
+
+
+def is_mix(name: str) -> bool:
+    """True when ``name`` addresses a mix (spec string or preset)."""
+    return name.startswith(MIX_PREFIX) or name in MIX_PRESETS
+
+
+@dataclass(frozen=True)
+class MixRecipe:
+    """An ordered tuple of component workloads, one per core slot.
+
+    Fewer components than cores cycle round-robin; the canonical spec
+    (:attr:`name`) is what cache keys, trace names, and CLI output use,
+    so ``mix:2xa+2xb`` and ``mix:a+a+b+b`` address the same artifacts.
+    """
+
+    components: "tuple[str, ...]"
+
+    def __post_init__(self) -> None:
+        from repro.workloads.suite import get_spec
+
+        if not self.components:
+            raise ValueError("a mix needs at least one component workload")
+        for component in self.components:
+            get_spec(component)  # raises on unknown names
+
+    @classmethod
+    def parse(cls, spec: str) -> "MixRecipe":
+        """Build a recipe from a spec string or preset name.
+
+        Accepted forms: ``mix:a+b+c``, ``mix:2xa+2xb`` (repeat
+        shorthand), or any :data:`MIX_PRESETS` key.
+        """
+        spec = MIX_PRESETS.get(spec, spec)
+        if not spec.startswith(MIX_PREFIX):
+            raise ValueError(
+                f"not a mix spec {spec!r}; expected '{MIX_PREFIX}...' or "
+                f"one of {sorted(MIX_PRESETS)}"
+            )
+        body = spec[len(MIX_PREFIX):]
+        components: "list[str]" = []
+        for part in body.split("+"):
+            part = part.strip()
+            count = 1
+            head, sep, tail = part.partition("x")
+            if sep and head.isdigit():
+                count, part = int(head), tail
+            if count <= 0 or not part:
+                raise ValueError(f"bad mix component {part!r} in {spec!r}")
+            components.extend([part] * count)
+        return cls(components=tuple(components))
+
+    @property
+    def name(self) -> str:
+        """Canonical spec string (run-length form, stable across parses)."""
+        parts: "list[list]" = []
+        for component in self.components:
+            if parts and parts[-1][1] == component:
+                parts[-1][0] += 1
+            else:
+                parts.append([1, component])
+        return MIX_PREFIX + "+".join(
+            f"{count}x{name}" if count > 1 else name
+            for count, name in parts
+        )
+
+    def assign(self, cores: int) -> "tuple[str, ...]":
+        """Per-core workload assignment (components cycle round-robin)."""
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        return tuple(
+            self.components[core % len(self.components)]
+            for core in range(cores)
+        )
+
+
+def core_seed(seed: int, core: int) -> int:
+    """Deterministic per-core RNG seed, stable across processes.
+
+    ``SeedSequence`` mixing keeps the per-core streams statistically
+    independent even for adjacent mix seeds, and two cores running the
+    same workload get different instances (different seeds).
+    """
+    state = np.random.SeedSequence([seed, core]).generate_state(2)
+    return int(state[0]) << 32 | int(state[1])
+
+
+def generate_mix(
+    recipe: "MixRecipe | str",
+    scale: object = "bench",
+    cores: int = 4,
+    seed: int = 7,
+    records_per_core: "int | None" = None,
+) -> Trace:
+    """Generate a multiprogrammed mix trace.
+
+    Each core's component workload is generated as an independent
+    single-core instance (own seed, own structures), then relocated
+    into a disjoint slice of the physical address space and assembled
+    into one multi-core :class:`~repro.workloads.trace.Trace` whose
+    name is the recipe's canonical spec.
+    """
+    from repro.workloads.suite import generate as generate_homogeneous
+    from repro.workloads.suite import get_scale
+
+    if isinstance(recipe, str):
+        recipe = MixRecipe.parse(recipe)
+    preset = get_scale(scale)
+    assignment = recipe.assign(cores)
+
+    blocks: "list[np.ndarray]" = []
+    work: "list[np.ndarray]" = []
+    dep: "list[np.ndarray]" = []
+    write: "list[np.ndarray]" = []
+    core_warmup: "list[float]" = []
+    base = 0
+    for core, workload in enumerate(assignment):
+        instance = generate_homogeneous(
+            workload,
+            scale=preset,
+            cores=1,
+            seed=core_seed(seed, core),
+            records_per_core=records_per_core,
+        )
+        blocks.append(instance.blocks[0] + np.int64(base))
+        work.append(instance.work[0])
+        dep.append(instance.dep[0])
+        write.append(instance.write[0])
+        core_warmup.append(instance.warmup_fraction)
+        # Generators emit blocks in [0, working_set_blocks); advancing
+        # the base by that span keeps per-core address spaces disjoint.
+        base += instance.working_set_blocks
+
+    return Trace(
+        name=recipe.name,
+        blocks=blocks,
+        work=work,
+        dep=dep,
+        write=write,
+        working_set_blocks=base,
+        warmup_fraction=max(core_warmup) if core_warmup else 0.25,
+        core_workloads=list(assignment),
+        core_warmup=core_warmup,
+    )

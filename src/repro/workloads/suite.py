@@ -290,7 +290,18 @@ def generate(
     seed: int = 7,
     records_per_core: "int | None" = None,
 ) -> Trace:
-    """Generate one suite workload at the given scale preset."""
+    """Generate one suite workload (or ``mix:...`` recipe) at a preset."""
+    # Late import: repro.workloads.mix composes this module's specs.
+    from repro.workloads.mix import generate_mix, is_mix
+
+    if is_mix(name):
+        return generate_mix(
+            name,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            records_per_core=records_per_core,
+        )
     spec = get_spec(name)
     preset = get_scale(scale)
     records = (

@@ -53,6 +53,12 @@ class Trace:
     #: Fraction of records the engine should treat as warm-up (not
     #: measured), so predictors and caches start from realistic state.
     warmup_fraction: float = 0.25
+    #: Per-core workload identity for multiprogrammed mixes (None for a
+    #: homogeneous trace: every core runs ``name``).
+    core_workloads: "list[str] | None" = None
+    #: Per-core warm-up fractions for mixes whose component workloads
+    #: warm differently (None: ``warmup_fraction`` applies to all cores).
+    core_warmup: "list[float] | None" = None
 
     def __post_init__(self) -> None:
         lengths = {len(self.blocks), len(self.work), len(self.dep),
@@ -64,6 +70,12 @@ class Trace:
             if not (len(self.work[core]) == len(self.dep[core])
                     == len(self.write[core]) == n):
                 raise ValueError(f"core {core}: column arrays differ in size")
+        for label, per_core in (
+            ("core_workloads", self.core_workloads),
+            ("core_warmup", self.core_warmup),
+        ):
+            if per_core is not None and len(per_core) != len(self.blocks):
+                raise ValueError(f"{label} must list one entry per core")
 
     @property
     def cores(self) -> int:
@@ -78,7 +90,18 @@ class Trace:
 
     def warmup_records(self, core: int) -> int:
         """Number of leading records on ``core`` that are warm-up only."""
-        return int(len(self.blocks[core]) * self.warmup_fraction)
+        fraction = (
+            self.core_warmup[core]
+            if self.core_warmup is not None
+            else self.warmup_fraction
+        )
+        return int(len(self.blocks[core]) * fraction)
+
+    def workload_of(self, core: int) -> str:
+        """The workload running on ``core`` (the trace name if uniform)."""
+        if self.core_workloads is not None:
+            return self.core_workloads[core]
+        return self.name
 
     def stats(self) -> TraceStats:
         """Compute summary statistics across all cores."""
@@ -109,6 +132,16 @@ class Trace:
             write=[w[:max_records_per_core] for w in self.write],
             working_set_blocks=self.working_set_blocks,
             warmup_fraction=self.warmup_fraction,
+            core_workloads=(
+                list(self.core_workloads)
+                if self.core_workloads is not None
+                else None
+            ),
+            core_warmup=(
+                list(self.core_warmup)
+                if self.core_warmup is not None
+                else None
+            ),
         )
 
     def save(self, path: str) -> None:
@@ -125,6 +158,12 @@ class Trace:
             "meta_warmup": np.array([self.warmup_fraction]),
             "meta_cores": np.array([self.cores]),
         }
+        if self.core_workloads is not None:
+            payload["meta_core_workloads"] = np.array(self.core_workloads)
+        if self.core_warmup is not None:
+            payload["meta_core_warmup"] = np.array(
+                self.core_warmup, dtype=np.float64
+            )
         for core in range(self.cores):
             payload[f"blocks_{core}"] = self.blocks[core]
             payload[f"work_{core}"] = self.work[core]
@@ -139,6 +178,17 @@ class Trace:
         with open(path, "rb") as handle:
             data = np.load(io.BytesIO(handle.read()), allow_pickle=False)
         cores = int(data["meta_cores"][0])
+        files = set(data.files)
+        core_workloads = (
+            [str(w) for w in data["meta_core_workloads"]]
+            if "meta_core_workloads" in files
+            else None
+        )
+        core_warmup = (
+            [float(f) for f in data["meta_core_warmup"]]
+            if "meta_core_warmup" in files
+            else None
+        )
         return cls(
             name=str(data["meta_name"][0]),
             blocks=[data[f"blocks_{c}"] for c in range(cores)],
@@ -147,6 +197,8 @@ class Trace:
             write=[data[f"write_{c}"] for c in range(cores)],
             working_set_blocks=int(data["meta_working_set"][0]),
             warmup_fraction=float(data["meta_warmup"][0]),
+            core_workloads=core_workloads,
+            core_warmup=core_warmup,
         )
 
 

@@ -14,13 +14,22 @@ Each seed fully determines the case, so failures replay exactly:
 
     pytest "tests/sim/test_engine_differential.py::test_differential[17]"
 
+A quarter of the cases draw *multiprogrammed mix* traces from the real
+suite generators (heterogeneous per-core workloads, disjoint address
+spaces, per-core warm-up) instead of the synthetic motif fuzzer, so the
+mix subsystem is differentially fuzzed alongside it.
+
 The fast tier runs a small pinned seed set; the nightly-depth sweep
-(``pytest -m slow``) runs a much wider band.
+(``pytest -m slow``) runs a 48-seed window whose base rotates with the
+calendar in CI: ``DIFF_SEED_BASE`` (default 8) positions the window, so
+every night fuzzes fresh seeds while any failure stays replayable by
+exporting the same base.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -37,8 +46,20 @@ from repro.workloads.trace import Trace
 
 #: Fast-tier seeds: a fixed, replayable sample across the config space.
 FAST_SEEDS = tuple(range(8))
-#: Nightly-depth seeds (behind the ``slow`` marker).
-SLOW_SEEDS = tuple(range(8, 56))
+
+
+def _slow_seed_base() -> int:
+    """Base of the nightly 48-seed window (``DIFF_SEED_BASE``)."""
+    try:
+        return int(os.environ.get("DIFF_SEED_BASE", "8"))
+    except ValueError:
+        return 8
+
+
+#: Nightly-depth seeds (behind the ``slow`` marker): a rotating window
+#: positioned by ``DIFF_SEED_BASE`` so scheduled CI sweeps new seeds
+#: every night.
+SLOW_SEEDS = tuple(range(_slow_seed_base(), _slow_seed_base() + 48))
 
 
 def _random_trace(rng: np.random.Generator, cores: int) -> Trace:
@@ -92,6 +113,30 @@ def _random_trace(rng: np.random.Generator, cores: int) -> Trace:
         write=[rng.random(records) < write_p for _ in range(cores)],
         working_set_blocks=span + 64,
         warmup_fraction=float(rng.choice([0.0, 0.2, 0.4])),
+    )
+
+
+def _mix_trace(rng: np.random.Generator, cores: int) -> Trace:
+    """A multiprogrammed mix trace drawn from the real suite generators.
+
+    Exercises the paths the synthetic fuzz trace cannot: heterogeneous
+    per-core workloads, per-core warm-up fractions, and disjoint
+    per-core address spaces competing only through the shared levels.
+    """
+    from repro.workloads.mix import MixRecipe, generate_mix
+    from repro.workloads.suite import FIGURE_ORDER
+
+    names = list(FIGURE_ORDER)
+    count = int(rng.integers(2, 4))
+    components = tuple(
+        names[int(rng.integers(0, len(names)))] for _ in range(count)
+    )
+    return generate_mix(
+        MixRecipe(components),
+        scale="test",
+        cores=cores,
+        seed=int(rng.integers(0, 2**31)),
+        records_per_core=int(rng.integers(300, 900)),
     )
 
 
@@ -170,7 +215,10 @@ def _run_and_snapshot(state_class, config, trace, factory):
 def _check_seed(seed: int, include_tag_engine: bool) -> None:
     rng = np.random.default_rng(seed)
     cores = int(rng.integers(1, 5))
-    trace = _random_trace(rng, cores)
+    if rng.random() < 0.25:
+        trace = _mix_trace(rng, cores)
+    else:
+        trace = _random_trace(rng, cores)
     config = _random_machine(rng, cores)
 
     engines = [BatchRunState]

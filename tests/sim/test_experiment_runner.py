@@ -105,6 +105,79 @@ class TestRunnerParallel:
         assert len(results) == 2
 
 
+class TestStoreAwareScheduling:
+    """map() must skip bundles whose every result is already persisted."""
+
+    def _jobs(self):
+        return [
+            SimJob(w, k, scale="test", cores=2, seed=3)
+            for w in ("web-apache", "oltp-db2")
+            for k in (PrefetcherKind.BASELINE, PrefetcherKind.MARKOV)
+        ]
+
+    def test_fully_persisted_bundles_are_skipped(self, tmp_path):
+        from repro.sim.session import SimSession
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        runner = ExperimentRunner(parallel=False)
+        first = runner.map(
+            self._jobs(), session=SimSession(enabled=True, store=store)
+        )
+
+        # A fresh session (fresh process analogue) over the same store:
+        # both bundles must be served without generating or simulating.
+        session = SimSession(enabled=True, store=ArtifactStore(str(tmp_path)))
+        second = runner.map(self._jobs(), session=session)
+        assert session.stats.bundle_skips == 2
+        assert session.stats.sim_misses == 0
+        assert session.stats.trace_misses == 0
+        assert session.stats.sim_store_hits == 4
+        for a, b in zip(first, second):
+            assert a.prefetcher == b.prefetcher
+            assert a.elapsed_cycles == b.elapsed_cycles
+            assert a.coverage == b.coverage
+        assert session.store.counters()["bundle_skips"] == 2
+
+    def test_partial_bundle_is_not_skipped(self, tmp_path):
+        from repro.sim.session import SimSession
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        runner = ExperimentRunner(parallel=False)
+        jobs = self._jobs()
+        runner.map(jobs[:1], session=SimSession(enabled=True, store=store))
+
+        session = SimSession(
+            enabled=True, store=ArtifactStore(str(tmp_path))
+        )
+        results = runner.map(jobs, session=session)
+        # web-apache's bundle gained a MARKOV job that is not persisted;
+        # oltp-db2's bundle is entirely absent.  The persisted BASELINE
+        # result is still served from the probe (one store read, no
+        # recompute) — only the three missing jobs simulate.
+        assert session.stats.bundle_skips == 0
+        assert session.stats.sim_misses == 3
+        assert session.stats.sim_store_hits == 1
+        assert len(results) == 4
+        assert results[0].prefetcher == "baseline"
+        assert results[0].elapsed_cycles > 0
+
+    def test_disabled_session_never_consults_store(self, tmp_path):
+        from repro.sim.session import SimSession
+        from repro.sim.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path))
+        runner = ExperimentRunner(parallel=False)
+        runner.map(
+            self._jobs(), session=SimSession(enabled=True, store=store)
+        )
+        disabled = SimSession(enabled=False)
+        runner.map(self._jobs(), session=disabled)
+        assert disabled.stats.bundle_skips == 0
+        assert disabled.stats.sim_misses == 4
+
+
 class TestRunnerStoreSharing:
     def test_serial_map_writes_through_session_store(self, tmp_path):
         from repro.sim.session import SimSession

@@ -7,6 +7,7 @@ from repro.sim.metrics import (
     MlpTracker,
     SimResult,
     _IntervalAccumulator,
+    per_workload_breakdown,
 )
 
 
@@ -105,3 +106,85 @@ class TestSimResult:
     def test_degenerate_cycles(self):
         result = self._result(cycles=0.0)
         assert result.throughput == 0.0
+
+
+class TestMlpTrackerPerCore:
+    def test_per_core_values(self):
+        tracker = MlpTracker(3)
+        tracker.add(0, 0.0, 10.0)   # lone interval -> MLP 1
+        tracker.add(1, 0.0, 10.0)   # two fully overlapped -> MLP 2
+        tracker.add(1, 0.0, 10.0)
+        assert tracker.per_core() == [1.0, 2.0, 0.0]
+
+    def test_per_core_composes_with_result(self):
+        tracker = MlpTracker(2)
+        tracker.add(0, 0.0, 10.0)
+        per_core = tracker.per_core()
+        assert tracker.result() == pytest.approx(1.0)
+        assert tracker.per_core() == per_core
+
+
+class TestPerWorkloadBreakdown:
+    def _mix_result(self) -> SimResult:
+        return SimResult(
+            workload="mix:a+b",
+            prefetcher="stms",
+            measured_records=300,
+            elapsed_cycles=1000.0,
+            core_workloads=["oltp-db2", "dss-db2", "oltp-db2"],
+            core_coverage=[
+                CoverageCounts(fully_covered=8, uncovered=2),
+                CoverageCounts(uncovered=10),
+                CoverageCounts(fully_covered=2, uncovered=8),
+            ],
+            core_measured_records=[100, 100, 100],
+            core_elapsed_cycles=[1000.0, 500.0, 1000.0],
+            core_mlp=[1.0, 2.0, 3.0],
+        )
+
+    def test_groups_cores_by_workload(self):
+        pieces = per_workload_breakdown(self._mix_result())
+        assert set(pieces) == {"oltp-db2", "dss-db2"}
+        oltp = pieces["oltp-db2"]
+        assert oltp.cores == [0, 2]
+        assert oltp.coverage.fully_covered == 10
+        assert oltp.coverage.uncovered == 10
+        assert oltp.measured_records == 200
+        assert oltp.throughput == pytest.approx(0.2)
+        # Miss-weighted MLP: (1.0 * 2 + 3.0 * 8) / 10.
+        assert oltp.mlp == pytest.approx(2.6)
+        assert pieces["dss-db2"].mlp == pytest.approx(2.0)
+        assert pieces["dss-db2"].throughput == pytest.approx(0.2)
+
+    def test_homogeneous_result_single_slice(self):
+        result = self._mix_result()
+        result.core_workloads = None
+        pieces = per_workload_breakdown(result)
+        assert set(pieces) == {"mix:a+b"}
+        assert pieces["mix:a+b"].cores == [0, 1, 2]
+
+    def test_per_core_coverage_sums_to_aggregate(self):
+        from repro.sim.runner import PrefetcherKind, run_workload
+        from repro.sim.session import SimSession
+
+        result = run_workload(
+            "mix:oltp-db2+dss-db2",
+            PrefetcherKind.STMS,
+            scale="test",
+            cores=2,
+            seed=7,
+            records_per_core=600,
+            session=SimSession(enabled=False),
+        )
+        assert result.core_workloads == ["oltp-db2", "dss-db2"]
+        for field_ in ("fully_covered", "partially_covered",
+                       "uncovered", "stride_covered"):
+            assert sum(
+                getattr(c, field_) for c in result.core_coverage
+            ) == getattr(result.coverage, field_)
+        assert sum(result.core_measured_records) == (
+            result.measured_records
+        )
+        assert max(result.core_elapsed_cycles) == pytest.approx(
+            result.elapsed_cycles
+        )

@@ -22,6 +22,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_accepts_mix_spec_and_preset(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "mix:2xoltp-db2+2xdss-db2"]
+        )
+        assert args.workload == "mix:2xoltp-db2+2xdss-db2"
+        args = build_parser().parse_args(
+            ["compare", "--workload", "mix-web-sci"]
+        )
+        assert args.workload == "mix-web-sci"
+
+    def test_rejects_bad_mix_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "mix:oltp-db2+no-such-workload"]
+            )
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -65,6 +81,22 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "ideal-tms" in out and "stms" in out
+
+    def test_list_mixes(self, capsys):
+        assert main(["list-mixes"]) == 0
+        out = capsys.readouterr().out
+        assert "mix-oltp-dss" in out
+        assert "mix:oltp-db2+dss-db2" in out
+
+    def test_run_mix_prints_per_workload_split(self, capsys):
+        code = main(
+            ["run", "--workload", "mix:oltp-db2+dss-db2",
+             "--prefetcher", "stms", "--scale", "test", "--cores", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-workload split" in out
+        assert "oltp-db2" in out and "dss-db2" in out
 
 class TestCacheCli:
     def test_stats_on_empty_store(self, tmp_path, capsys):

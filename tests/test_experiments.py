@@ -31,6 +31,7 @@ class TestCommonHelpers:
         expected = {
             "fig1-left", "fig1-right", "fig4", "fig5-left", "fig5-right",
             "fig6-left", "fig6-right", "fig7", "fig8", "fig9", "table2",
+            "mix-contention",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -121,3 +122,17 @@ class TestDriverStructure:
         )
         self._assert_result(result)
         assert result.data["mlp"]["sci-moldyn"] >= 1.0
+
+    def test_mix_contention(self):
+        result = run_experiment(
+            "mix-contention",
+            scale="test",
+            cores=2,
+            workloads=("mix:oltp-db2+dss-db2",),
+        )
+        self._assert_result(result)
+        point = result.data["mixes"]["mix:oltp-db2+dss-db2"]["l2x1"]
+        assert set(point["stms"]["per_workload"]) == {
+            "oltp-db2", "dss-db2",
+        }
+        assert point["speedup"] > 0.0

@@ -28,17 +28,24 @@ from repro.sim.session import SimSession
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 GOLDEN_WORKLOADS = ("web-apache", "sci-ocean")
-GOLDEN_FIGURES = ("fig5-left", "fig5-right", "fig7", "fig8")
+#: The mix sweep pins its own workload argument: mix specs, not names.
+GOLDEN_MIXES = ("mix:oltp-db2+dss-db2", "mix:web-apache+sci-ocean")
+GOLDEN_FIGURES = (
+    "fig5-left", "fig5-right", "fig7", "fig8", "mix-contention",
+)
 
 
 def _compute(name: str) -> dict:
     # A private, store-less session: golden runs must actually simulate.
     session = SimSession(enabled=True, store=None)
+    workloads = (
+        GOLDEN_MIXES if name == "mix-contention" else GOLDEN_WORKLOADS
+    )
     result = EXPERIMENTS[name](
         scale="test",
         cores=2,
         seed=7,
-        workloads=GOLDEN_WORKLOADS,
+        workloads=workloads,
         session=session,
     )
     # Round-trip through JSON so both sides use identical key/float
