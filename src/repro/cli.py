@@ -46,7 +46,10 @@ def _workload_arg(value: str) -> str:
 
     Mixes are accepted everywhere a homogeneous workload is (``run``,
     ``compare``, ``cache warm``): ``mix:2xoltp-db2+2xdss-db2`` assigns
-    components to cores round-robin.
+    components to cores round-robin.  Components may carry asymmetric
+    scheduling decorations — ``*S`` time-sliced instances, ``@R`` rate
+    weight, ``!low`` demand-priority class — e.g.
+    ``mix:oltp-db2*2+web-apache@0.5!low``.
     """
     if value in WORKLOADS:
         return value
@@ -59,7 +62,8 @@ def _workload_arg(value: str) -> str:
     raise argparse.ArgumentTypeError(
         f"unknown workload {value!r}; choose a suite workload "
         f"({', '.join(sorted(WORKLOADS))}), a mix preset "
-        f"({', '.join(sorted(MIX_PRESETS))}), or a 'mix:<w>+<w>' spec"
+        f"({', '.join(sorted(MIX_PRESETS))}), or a "
+        "'mix:<w>[*S][@rate][!prio]+<w>...' spec"
     )
 
 
@@ -199,7 +203,9 @@ def cmd_list_mixes(_: argparse.Namespace) -> int:
             ["preset", "spec", "4-core assignment"],
             rows,
             title="Multiprogrammed mix presets (or give any "
-            "'mix:<w>+<w>...' spec)",
+            "'mix:<w>+<w>...' spec; components take *S time slices, "
+            "@R rate, !low priority — e.g. "
+            "mix:oltp-db2*2+web-apache@0.5!low)",
         )
     )
     return 0

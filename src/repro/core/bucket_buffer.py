@@ -33,7 +33,7 @@ class BucketBufferStats:
 class BucketBuffer:
     """LRU cache of index-table buckets with lazy dirty write-back."""
 
-    __slots__ = ('capacity', 'dram', 'traffic', 'stats', '_resident', '_traffic_bytes')
+    __slots__ = ('capacity', 'dram', 'traffic', 'stats', '_resident', '_dirty_core', '_traffic_bytes', '_core_traffic_bytes')
 
     def __init__(
         self,
@@ -52,7 +52,11 @@ class BucketBuffer:
         # pop-and-reinsert — cheaper than an OrderedDict on the per-miss
         # metadata path.
         self._resident: dict[int, bool] = {}
+        #: bucket id -> core that last dirtied it; the eventual lazy
+        #: write-back is attributed to that core (it caused the bytes).
+        self._dirty_core: dict[int, int] = {}
         self._traffic_bytes = traffic._bytes
+        self._core_traffic_bytes = traffic._core_bytes
 
     def __contains__(self, bucket: int) -> bool:
         return bucket in self._resident
@@ -66,6 +70,7 @@ class BucketBuffer:
         now: float,
         dirty: bool = False,
         charge: TrafficCategory = TrafficCategory.LOOKUP_STREAMS,
+        core: int = 0,
     ) -> float:
         """Bring ``bucket`` on chip (if needed) and return its ready time.
 
@@ -73,15 +78,19 @@ class BucketBuffer:
         one is required: lookups charge to stream-lookup traffic, updates
         to index-update traffic, matching the paper's Figure 7 split.
         Setting ``dirty`` marks the bucket for eventual write-back.
+        ``core`` is the requesting core every byte is attributed to.
         """
         resident = self._resident
         was_dirty = resident.pop(bucket, None)
         if was_dirty is not None:
             self.stats.hits += 1
             resident[bucket] = was_dirty or dirty
+            if dirty:
+                self._dirty_core[bucket] = core
             return now
         self.stats.misses += 1
         self._traffic_bytes[charge] += BLOCK_BYTES
+        self._core_traffic_bytes[core][charge] += BLOCK_BYTES
         # Inlined DramChannel.request_low.
         dram = self.dram
         service = dram._transfer_cycles
@@ -97,27 +106,38 @@ class BucketBuffer:
         if len(resident) >= self.capacity:
             victim = next(iter(resident))
             if resident.pop(victim):
-                self._write_back(now)
+                self._write_back(now, self._dirty_core.pop(victim, 0))
+            else:
+                self._dirty_core.pop(victim, None)
         resident[bucket] = dirty
+        if dirty:
+            self._dirty_core[bucket] = core
         return arrival
 
-    def mark_dirty(self, bucket: int) -> None:
+    def mark_dirty(self, bucket: int, core: int = 0) -> None:
         """Dirty an already-resident bucket (after an in-place update)."""
         if bucket not in self._resident:
             raise KeyError(f"bucket {bucket} is not resident")
         del self._resident[bucket]
         self._resident[bucket] = True
+        self._dirty_core[bucket] = core
 
     def _evict_one(self, now: float) -> None:
         victim = next(iter(self._resident))
         dirty = self._resident.pop(victim)
         if dirty:
-            self._write_back(now)
+            self._write_back(now, self._dirty_core.pop(victim, 0))
+        else:
+            self._dirty_core.pop(victim, None)
 
-    def _write_back(self, now: float) -> None:
-        """One low-priority bucket write (index maintenance traffic)."""
+    def _write_back(self, now: float, core: int = 0) -> None:
+        """One low-priority bucket write (index maintenance traffic),
+        attributed to the core that last dirtied the bucket."""
         self.stats.writebacks += 1
         self._traffic_bytes[TrafficCategory.UPDATE_INDEX] += BLOCK_BYTES
+        self._core_traffic_bytes[core][
+            TrafficCategory.UPDATE_INDEX
+        ] += BLOCK_BYTES
         self.dram.request_low(now)
 
     def drain(self, now: float) -> int:
@@ -128,7 +148,9 @@ class BucketBuffer:
         drained = 0
         for bucket, dirty in list(self._resident.items()):
             if dirty:
-                self._write_back(now)
-                drained += 1
+                self._write_back(now, self._dirty_core.pop(bucket, 0))
+            else:
+                self._dirty_core.pop(bucket, None)
             del self._resident[bucket]
+            drained += dirty
         return drained

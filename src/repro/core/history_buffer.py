@@ -117,6 +117,7 @@ class HistoryBuffer:
         self.region = region
         self.dram = dram
         self.traffic = traffic
+        traffic.ensure_cores(core + 1)
         self.stats = HistoryStats()
         #: Total entries ever appended; next append gets this sequence.
         self.head = 0
@@ -195,7 +196,8 @@ class HistoryBuffer:
     def _spill(self, now: float) -> None:
         self._commit_pending()
         self.stats.packed_writes += 1
-        self.traffic.add_block(TrafficCategory.RECORD_STREAMS)
+        # Recording traffic is the owning core's: it logs its own misses.
+        self.traffic.add_block(TrafficCategory.RECORD_STREAMS, self.core)
         self.dram.request_low(now)
 
     def flush(self, now: float) -> None:
@@ -203,11 +205,14 @@ class HistoryBuffer:
         if self._pend_blocks:
             self._spill(now)
 
-    def annotate(self, sequence: int, now: float) -> bool:
+    def annotate(
+        self, sequence: int, now: float, requester: "int | None" = None
+    ) -> bool:
         """Set the end-of-stream mark on ``sequence`` if still valid.
 
         The mark is an in-place read-modify-write of one packed history
-        block; modeled as a single low-priority write.
+        block; modeled as a single low-priority write attributed to
+        ``requester`` (the annotating core; default: the owning core).
         """
         if not self.is_valid(sequence):
             return False
@@ -217,7 +222,10 @@ class HistoryBuffer:
         else:
             self._marks[sequence % self.capacity] = True
         self.stats.annotations += 1
-        self.traffic.add_block(TrafficCategory.RECORD_STREAMS)
+        self.traffic.add_block(
+            TrafficCategory.RECORD_STREAMS,
+            self.core if requester is None else requester,
+        )
         self.dram.request_low(now)
         return True
 
@@ -226,7 +234,7 @@ class HistoryBuffer:
     # ------------------------------------------------------------------
 
     def read_segment(
-        self, sequence: int, now: float
+        self, sequence: int, now: float, reader: "int | None" = None
     ) -> "tuple[int, list[int], list[bool], float]":
         """Fetch the packed-block segment containing ``sequence``.
 
@@ -235,7 +243,10 @@ class HistoryBuffer:
         sequences ``first_sequence ..`` up to the end of the packed block
         (at most :data:`HISTORY_ENTRIES_PER_BLOCK` entries).  Entries
         newer than the last spill are still on chip, so reading the
-        packed block that overlaps the pack buffer costs nothing.
+        packed block that overlaps the pack buffer costs nothing.  The
+        off-chip read is attributed to ``reader`` — the *streaming* core
+        following this history, which may differ from the owning core —
+        defaulting to the owner.
         """
         if not self.is_valid(sequence):
             self.stats.stale_reads += 1
@@ -276,7 +287,10 @@ class HistoryBuffer:
                 now,
             )
         self.stats.block_reads += 1
-        self.traffic.add_block(TrafficCategory.LOOKUP_STREAMS)
+        self.traffic.add_block(
+            TrafficCategory.LOOKUP_STREAMS,
+            self.core if reader is None else reader,
+        )
         arrival = self.dram.request_low(now)
         # ``first .. block_end`` lies inside one aligned packed block and
         # the capacity is a whole number of packed blocks, so the slots
@@ -291,14 +305,16 @@ class HistoryBuffer:
         )
 
     def read_block(
-        self, sequence: int, now: float
+        self, sequence: int, now: float, reader: "int | None" = None
     ) -> tuple[list[HistoryEntry], float]:
         """Fetch the packed block containing ``sequence``.
 
         :class:`HistoryEntry` view over :meth:`read_segment` — identical
         stats, traffic, and timing.
         """
-        first, blocks, marks, arrival = self.read_segment(sequence, now)
+        first, blocks, marks, arrival = self.read_segment(
+            sequence, now, reader
+        )
         entries = [
             HistoryEntry(first + k, block, marked)
             for k, (block, marked) in enumerate(zip(blocks, marks))

@@ -183,7 +183,7 @@ class StmsPrefetcher(TemporalPrefetcher):
         self.stats.lookups += 1
         bucket_buffer = self.bucket_buffer
         bucket_ready = bucket_buffer.access(
-            bucket, now, charge=TrafficCategory.LOOKUP_STREAMS
+            bucket, now, charge=TrafficCategory.LOOKUP_STREAMS, core=core
         )
         pointer = self.index.probe(bucket, tag)
 
@@ -207,9 +207,10 @@ class StmsPrefetcher(TemporalPrefetcher):
             # The lookup above just fetched this very bucket, so the
             # update's bucket access is a guaranteed MRU hit: touch it
             # dirty in place (same stats, order, and timing as
-            # ``bucket_buffer.access(..., dirty=True)``).
+            # ``bucket_buffer.access(..., dirty=True, core=core)``).
             bucket_buffer.stats.hits += 1
             bucket_buffer._resident[bucket] = True
+            bucket_buffer._dirty_core[bucket] = core
             self.index.commit(
                 bucket, tag, tuple.__new__(HistoryPointer, (core, sequence))
             )
@@ -297,7 +298,8 @@ class StmsPrefetcher(TemporalPrefetcher):
             return
         self.counters.applied_updates += 1
         self.bucket_buffer.access(
-            bucket, now, dirty=True, charge=TrafficCategory.UPDATE_INDEX
+            bucket, now, dirty=True, charge=TrafficCategory.UPDATE_INDEX,
+            core=core,
         )
         self.index.commit(
             bucket, tag, tuple.__new__(HistoryPointer, (core, sequence))
@@ -329,7 +331,7 @@ class StmsPrefetcher(TemporalPrefetcher):
         ):
             source = self.histories[engine.source_core]
             first, blocks, marks, arrival = source.read_segment(
-                engine.next_fetch_sequence, now
+                engine.next_fetch_sequence, now, reader=core
             )
             if not blocks:
                 # Caught up with the recording head, or the stream was
@@ -377,6 +379,7 @@ class StmsPrefetcher(TemporalPrefetcher):
         latency = dram._access_latency_cycles
         backlog_limit = self._backlog_limit
         traffic = self.traffic
+        core_traffic = traffic._core_bytes[core]
         tuple_new = tuple.__new__
         while budget > 0:
             # Inlined StreamEngine.pop_for_prefetch.
@@ -415,7 +418,12 @@ class StmsPrefetcher(TemporalPrefetcher):
                 displaced = entries.pop(next(iter(entries)))
                 buffer._forget(displaced)
                 stats.erroneous += 1
-                traffic.add_block(TrafficCategory.ERRONEOUS_PREFETCH)
+                traffic._bytes[
+                    TrafficCategory.ERRONEOUS_PREFETCH
+                ] += BLOCK_BYTES
+                core_traffic[
+                    TrafficCategory.ERRONEOUS_PREFETCH
+                ] += BLOCK_BYTES
             entries[block] = tuple_new(
                 PrefetchedBlock, (block, issue_at, arrival, serial)
             )
@@ -441,7 +449,9 @@ class StmsPrefetcher(TemporalPrefetcher):
         if target is None:
             return
         source_core, sequence = target
-        if self.histories[source_core].annotate(sequence, now):
+        if self.histories[source_core].annotate(
+            sequence, now, requester=core
+        ):
             self.counters.annotations += 1
 
     # ------------------------------------------------------------------

@@ -3,17 +3,28 @@
 The paper's CMP setting puts STMS meta-data traffic on the same memory
 system as demand traffic from *other* programs.  This experiment
 co-schedules heterogeneous per-core mixes (OLTP beside DSS, web beside
-scientific) and sweeps the two shared resources — L2 capacity and DRAM
-bandwidth — comparing the base system against STMS at each point.
+scientific, rate-/priority-asymmetric co-runners) and sweeps the two
+shared resources — L2 capacity and DRAM bandwidth — comparing the base
+system against STMS at each point.
 
 Reported per (mix, machine point, prefetcher): aggregate coverage and
 speedup, DRAM-channel utilization, meta-data overhead per useful byte,
-and the per-workload split of coverage/throughput (which co-runner pays
-for the contention).  Paper-shaped claims checked: temporal streams
-survive co-scheduling, shrinking the shared L2 raises off-chip demand,
-throttled DRAM never helps, and STMS's lookup/history traffic is real
-(nonzero overhead bytes, higher channel utilization than the base
-system while it wins coverage).
+and the per-workload split of coverage/throughput/attributed DRAM bytes
+(which co-runner pays for the contention, and *whose misses caused the
+meta-data traffic*).  Each mix component also gets a **solo-run
+reference** — the same workload running the whole machine alone at the
+same sweep point — so the classic multiprogramming metric, per-workload
+slowdown versus running alone, is reported directly.  Solo traces and
+results share recipe keys with the homogeneous figure experiments, so
+a warm artifact store serves them without any cold regeneration.
+
+Paper-shaped claims checked: temporal streams survive co-scheduling,
+shrinking the shared L2 raises off-chip demand, throttled DRAM never
+helps, STMS's lookup/history traffic is real (nonzero overhead bytes,
+higher channel utilization than the base system while it wins
+coverage), per-workload attribution is conservative (component bytes
+sum to the global counters), and every component reports a positive
+finite slowdown-vs-alone.
 """
 
 from __future__ import annotations
@@ -33,12 +44,17 @@ from repro.sim.runner import (
     make_sim_config,
 )
 from repro.sim.session import SimSession
+from repro.workloads.mix import MixComponent, MixRecipe
 
 #: Default contention mixes (components cycle over the core count).
+#: The last one is asymmetric: two time-sliced OLTP instances share
+#: each odd core while a half-rate, low-demand-priority DSS runs on the
+#: even ones — the rate-based interference scenario from the roadmap.
 DEFAULT_MIXES = (
     "mix:oltp-db2+dss-db2",
     "mix:web-apache+sci-em3d",
     "mix:oltp-db2+web-zeus",
+    "mix:oltp-db2*2+dss-db2@0.5!low",
 )
 
 #: Shared-L2 capacity factors relative to the scale preset.
@@ -91,6 +107,28 @@ def _sum_throughput(result: SimResult) -> float:
     )
 
 
+def _per_core_throughput(result: SimResult) -> float:
+    """Mean per-core records/cycle (the solo-reference normalization)."""
+    assert result.core_measured_records is not None
+    cores = len(result.core_measured_records)
+    if cores == 0:
+        return 0.0
+    return _sum_throughput(result) / cores
+
+
+def solo_workloads(mixes: "tuple[str, ...]") -> "tuple[str, ...]":
+    """Distinct bare component workloads across ``mixes``, in first-seen
+    order — one solo-run reference each.  Decorated components (rate,
+    slices, priority) reference their undecorated workload: "alone"
+    means the program owning the whole machine at full rate."""
+    seen: "list[str]" = []
+    for mix in mixes:
+        for component in MixRecipe.parse(mix).parsed:
+            if component.workload not in seen:
+                seen.append(component.workload)
+    return tuple(seen)
+
+
 def run(
     scale: str = "bench",
     cores: int = 4,
@@ -102,6 +140,7 @@ def run(
     """Regenerate the mix-contention sweep (``workloads`` = mix specs)."""
     mixes = workloads if workloads is not None else DEFAULT_MIXES
     points = _points(scale)
+    solos = solo_workloads(mixes)
 
     jobs = [
         SimJob(
@@ -118,6 +157,25 @@ def run(
         for label, cmp_overrides, dram_overrides in points
         for kind in _KINDS
     ]
+    # Solo-run references: each component workload owning the whole
+    # machine at the same sweep point.  The trace recipes are the plain
+    # homogeneous ones the figure experiments use, so a warm store
+    # serves these without cold regeneration.
+    jobs.extend(
+        SimJob(
+            workload,
+            kind,
+            scale=scale,
+            cores=cores,
+            seed=seed,
+            cmp_overrides=cmp_overrides,
+            dram_overrides=dram_overrides,
+            tag=("solo", workload, label, kind),
+        )
+        for workload in solos
+        for label, cmp_overrides, dram_overrides in points
+        for kind in _KINDS
+    )
     results = simulate_jobs(jobs, runner, session)
     by_tag: "dict[tuple, SimResult]" = {
         job.tag: result for job, result in zip(jobs, results)
@@ -131,10 +189,49 @@ def run(
             baseline = by_tag[(mix, label, PrefetcherKind.BASELINE)]
             stms = by_tag[(mix, label, PrefetcherKind.STMS)]
             point_data: "dict[str, dict]" = {}
-            for kind, result in (
-                ("baseline", baseline),
-                ("stms", stms),
+            for kind, pk, result in (
+                ("baseline", PrefetcherKind.BASELINE, baseline),
+                ("stms", PrefetcherKind.STMS, stms),
             ):
+                per_workload: "dict[str, dict]" = {}
+                for name, piece in sorted(
+                    per_workload_breakdown(result).items()
+                ):
+                    component = MixComponent.parse(name)
+                    solo = by_tag[
+                        ("solo", component.workload, label, pk)
+                    ]
+                    solo_throughput = _per_core_throughput(solo)
+                    # Per *instance*: a time-sliced core commits all S
+                    # instances' records, so its per-core rate must be
+                    # split S ways before comparing against one program
+                    # running alone — otherwise `w*2` would report ~1x
+                    # while each sliced program actually progresses at
+                    # half its solo rate (and `w@0.5` would show its
+                    # stretch, inconsistently).
+                    mix_throughput = (
+                        piece.throughput
+                        / len(piece.cores)
+                        / component.slices
+                        if piece.cores
+                        else 0.0
+                    )
+                    per_workload[name] = {
+                        "cores": piece.cores,
+                        "coverage": piece.coverage.coverage,
+                        "throughput": piece.throughput,
+                        "mlp": piece.mlp,
+                        "solo_throughput_per_core": solo_throughput,
+                        "slowdown_vs_solo": (
+                            solo_throughput / mix_throughput
+                            if mix_throughput > 0
+                            else 0.0
+                        ),
+                        "traffic_bytes": dict(
+                            sorted(piece.traffic_bytes.items())
+                        ),
+                        "metadata_bytes": piece.metadata_bytes,
+                    }
                 point_data[kind] = {
                     "coverage": result.coverage.coverage,
                     "off_chip_fraction": _off_chip_fraction(result),
@@ -143,17 +240,8 @@ def run(
                     "overhead_per_useful_byte": (
                         result.overhead_per_useful_byte
                     ),
-                    "per_workload": {
-                        name: {
-                            "cores": piece.cores,
-                            "coverage": piece.coverage.coverage,
-                            "throughput": piece.throughput,
-                            "mlp": piece.mlp,
-                        }
-                        for name, piece in sorted(
-                            per_workload_breakdown(result).items()
-                        )
-                    },
+                    "metadata_bytes": result.metadata_bytes,
+                    "per_workload": per_workload,
                 }
             point_data["speedup"] = stms.speedup_over(baseline)
             data[mix][label] = point_data
@@ -182,6 +270,9 @@ def run(
                     format_percent(piece["coverage"]),
                     f"{base_piece['throughput']:.4f}",
                     f"{piece['throughput']:.4f}",
+                    f"{base_piece['slowdown_vs_solo']:.3f}x",
+                    f"{piece['slowdown_vs_solo']:.3f}x",
+                    f"{piece['metadata_bytes'] / 1024:.1f}K",
                 ]
             )
 
@@ -195,9 +286,12 @@ def run(
             ),
             format_table(
                 ["mix", "workload", "cores", "stms cov",
-                 "base thpt", "stms thpt"],
+                 "base thpt", "stms thpt", "base slow",
+                 "stms slow", "meta bytes"],
                 per_workload_rows,
-                title="Per-workload split at the default machine point",
+                title="Per-workload split at the default machine point "
+                "(per-instance slowdown vs running alone; attributed "
+                "STMS meta-data bytes)",
             ),
         ]
     )
@@ -241,6 +335,27 @@ def _shape_checks(
         if data[mix]["l2x1"]["stms"]["dram_utilization"]
         >= data[mix]["l2x1"]["baseline"]["dram_utilization"] - 1e-9
     )
+    attribution_conservative = all(
+        sum(
+            piece["metadata_bytes"]
+            for piece in data[mix][label][kind]["per_workload"].values()
+        )
+        == data[mix][label][kind]["metadata_bytes"]
+        for mix in mixes
+        for label in data[mix]
+        for kind in ("baseline", "stms")
+    )
+    slowdowns = [
+        piece["slowdown_vs_solo"]
+        for mix in mixes
+        for label in data[mix]
+        for kind in ("baseline", "stms")
+        for piece in data[mix][label][kind]["per_workload"].values()
+    ]
+    slowdowns_ok = all(
+        value > 0.0 and value == value and value != float("inf")
+        for value in slowdowns
+    )
     return [
         ShapeCheck(
             claim="Temporal streams survive co-scheduling (STMS covers "
@@ -265,5 +380,21 @@ def _shape_checks(
             "system on most mixes",
             passed=overhead_real and util_up * 2 >= len(mixes),
             detail=f"util >= baseline on {util_up}/{len(mixes)} mixes",
+        ),
+        ShapeCheck(
+            claim="Per-workload DRAM attribution is conservative "
+            "(component meta-data bytes sum to the global counter at "
+            "every point)",
+            passed=attribution_conservative,
+        ),
+        ShapeCheck(
+            claim="Every mix component reports a positive finite "
+            "slowdown vs running alone",
+            passed=bool(slowdowns) and slowdowns_ok,
+            detail=(
+                f"max slowdown = {max(slowdowns):.3f}x"
+                if slowdowns
+                else "no components"
+            ),
         ),
     ]

@@ -125,6 +125,7 @@ class CmpHierarchy:
             raise ValueError(f"unknown l1_kind {l1_kind!r} (dict/tag)")
         self.config = config if config is not None else CmpConfig()
         self.traffic = traffic if traffic is not None else TrafficMeter()
+        self.traffic.ensure_cores(self.config.cores)
         l1_class = TagArrayCache if l1_kind == "tag" else Cache
         self.l1s = [
             l1_class(self.config.l1_config(core))
@@ -188,12 +189,16 @@ class CmpHierarchy:
         """Install a block arriving from off chip into L2 and the L1."""
         self._check_core(core)
         writebacks: list[Eviction] = []
-        self._l2_fill(block, False, writebacks)
+        self._l2_fill(block, False, writebacks, core)
         self._fill_l1_into(core, block, dirty, writebacks)
         return writebacks
 
     def _l2_fill(
-        self, block: int, dirty: bool, writebacks: list[Eviction]
+        self,
+        block: int,
+        dirty: bool,
+        writebacks: list[Eviction],
+        core: int = 0,
     ) -> None:
         """L2 fill with inclusive-eviction handling.
 
@@ -224,7 +229,7 @@ class CmpHierarchy:
         l2._version += 1
         if victim_block is not None:
             self._handle_l2_eviction(victim_block, victim_dirty,
-                                     writebacks)
+                                     writebacks, core)
 
     def _fill_l1(self, core: int, block: int, dirty: bool) -> list[Eviction]:
         """Fill the core's L1, spilling its victim into the victim buffer."""
@@ -257,7 +262,7 @@ class CmpHierarchy:
         capacity = victim_buffer.capacity
         if capacity <= 0:
             if victim_dirty:
-                self._l2_fill(victim_block, True, writebacks)
+                self._l2_fill(victim_block, True, writebacks, core)
             return
         if victim_block in fifo:
             fifo[victim_block] = fifo[victim_block] or victim_dirty
@@ -267,22 +272,28 @@ class CmpHierarchy:
             displaced_dirty = fifo.pop(displaced_block)
             if displaced_dirty:
                 # Dirty victim falls back to L2 (on-chip; no pin traffic).
-                self._l2_fill(displaced_block, True, writebacks)
+                self._l2_fill(displaced_block, True, writebacks, core)
         fifo[victim_block] = victim_dirty
 
     def _handle_l2_eviction(
-        self, block: int, dirty: bool, writebacks: list[Eviction]
+        self,
+        block: int,
+        dirty: bool,
+        writebacks: list[Eviction],
+        core: int = 0,
     ) -> None:
         """Invalidate inclusive L1 copies and charge write-back traffic.
 
         An inclusive eviction must not lose data: if any L1 holds the
-        block dirty, that state merges into the outgoing line.
+        block dirty, that state merges into the outgoing line.  The
+        write-back is attributed to ``core`` — the requesting core whose
+        fill displaced the line.
         """
         mask = self._l1_copies.pop(block, 0)
         if mask:
             dirty = self._invalidate_copies(block, mask, dirty)
         if dirty:
-            self.traffic.add_block(TrafficCategory.WRITEBACK)
+            self.traffic.add_block(TrafficCategory.WRITEBACK, core)
             writebacks.append(Eviction(block=block, dirty=True))
 
     def _invalidate_copies(self, block: int, mask: int, dirty: bool) -> bool:

@@ -180,6 +180,7 @@ class TemporalPrefetcher(ABC):
         self.cores = cores
         self.dram = dram
         self.traffic = traffic
+        traffic.ensure_cores(cores)
         self.stats = PrefetcherStats()
         self._filter = residency_filter
         # When the residency filter is a plain Cache.lookup bound method
@@ -219,7 +220,7 @@ class TemporalPrefetcher(ABC):
         if entry is None:
             return None
         self.stats.useful += 1
-        self.traffic.add_block(TrafficCategory.USEFUL_PREFETCH)
+        self.traffic.add_block(TrafficCategory.USEFUL_PREFETCH, core)
         self._on_prefetch_hit(core, block, now)
         return entry
 
@@ -233,9 +234,9 @@ class TemporalPrefetcher(ABC):
         Unconsumed prefetch-buffer contents are charged as erroneous so
         traffic accounting always balances against issued prefetches.
         """
-        for buffer in self.buffers:
+        for core, buffer in enumerate(self.buffers):
             for _ in buffer.drain():
-                self._charge_erroneous()
+                self._charge_erroneous(core)
 
     # ------------------------------------------------------------------
     # Subclass hooks and shared mechanics.
@@ -245,9 +246,9 @@ class TemporalPrefetcher(ABC):
     def _on_prefetch_hit(self, core: int, block: int, now: float) -> None:
         """Observe a consumed prefetch (record + continue streaming)."""
 
-    def _charge_erroneous(self) -> None:
+    def _charge_erroneous(self, core: int = 0) -> None:
         self.stats.erroneous += 1
-        self.traffic.add_block(TrafficCategory.ERRONEOUS_PREFETCH)
+        self.traffic.add_block(TrafficCategory.ERRONEOUS_PREFETCH, core)
 
     def _issue_prefetch(
         self, core: int, block: int, now: float, stream: int = -1
@@ -291,7 +292,7 @@ class TemporalPrefetcher(ABC):
         if len(entries) >= buffer.capacity:
             displaced = entries.pop(next(iter(entries)))
             buffer._forget(displaced)
-            self._charge_erroneous()
+            self._charge_erroneous(core)
         entries[block] = tuple.__new__(
             PrefetchedBlock, (block, now, arrival, stream)
         )

@@ -66,7 +66,8 @@ class FixedDepthPrefetcher(IdealTmsPrefetcher):
         self.stats.lookup_hits += 1
         if self.charge_lookup_traffic and self.lookup_rounds > 0:
             self.traffic.add_blocks(
-                TrafficCategory.LOOKUP_STREAMS, self.lookup_rounds
+                TrafficCategory.LOOKUP_STREAMS, self.lookup_rounds,
+                core=core,
             )
         source_core, position = located
         self._next_serial += 1

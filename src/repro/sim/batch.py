@@ -110,7 +110,7 @@ class BatchRunState(_RunState):
 
     L1_KIND = "dict"
 
-    __slots__ = ('_blocks_l', '_work_l', '_dep_l', '_write_l', '_blocks_a', '_write_a', '_runs', '_event_keys', '_n_pending', '_t_l1_hit', '_t_victim', '_t_l2_dep', '_t_l2_indep', '_t_stride_dep', '_t_stride_indep', '_t_pf_dep', '_t_pf_indep', '_t_miss_overhead', '_miss_window', '_traffic_bytes', '_l2_ways', '_l1_ways', '_victim_capacity', '_mlp_accs', '_l1_sets_list', '_l1_set_mask', '_scratch_writebacks', '_stms_buckets', '_stms_tags')
+    __slots__ = ('_blocks_l', '_work_l', '_dep_l', '_write_l', '_blocks_a', '_write_a', '_runs', '_event_keys', '_n_pending', '_t_l1_hit', '_t_victim', '_t_l2_dep', '_t_l2_indep', '_t_stride_dep', '_t_stride_indep', '_t_pf_dep', '_t_pf_indep', '_t_miss_overhead', '_miss_window', '_traffic_bytes', '_core_traffic', '_l2_ways', '_l1_ways', '_victim_capacity', '_mlp_accs', '_l1_sets_list', '_l1_set_mask', '_scratch_writebacks', '_stms_buckets', '_stms_tags')
 
     def __init__(self, config, trace, temporal_factory):
         super().__init__(config, trace, temporal_factory)
@@ -140,6 +140,7 @@ class BatchRunState(_RunState):
         self._t_miss_overhead = timing.miss_issue_overhead
         self._miss_window = timing.core_miss_window
         self._traffic_bytes = self.traffic._bytes
+        self._core_traffic = self.traffic._core_bytes
         self._l2_ways = self.hierarchy._l2_ways
         self._l1_ways = config.cmp.l1_ways
         self._victim_capacity = config.cmp.l1_victim_blocks
@@ -390,6 +391,7 @@ class BatchRunState(_RunState):
                 stride_buffer._forget(entry)
                 stride.stats.useful += 1
                 self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
+                self._core_traffic[core][_DEMAND_READ] += BLOCK_BYTES
                 if measuring:
                     self.coverage.stride_covered += 1
                     self.core_coverage[core].stride_covered += 1
@@ -416,6 +418,9 @@ class BatchRunState(_RunState):
                     temporal_buffer._forget(entry)
                     temporal.stats.useful += 1
                     self._traffic_bytes[_USEFUL_PREFETCH] += BLOCK_BYTES
+                    self._core_traffic[core][
+                        _USEFUL_PREFETCH
+                    ] += BLOCK_BYTES
                     temporal._prefetch_hit_hashed(core, block, t, bucket, tag)
             else:
                 entry = temporal.consume(core, block, t)
@@ -434,7 +439,9 @@ class BatchRunState(_RunState):
                         # it to demand urgency (see the reference
                         # engine).
                         arrival = entry.arrival
-                        peek = self.dram.peek_completion(t, _HIGH)
+                        peek = self.dram.peek_completion(
+                            t, self.demand_priority[core]
+                        )
                         if peek < arrival:
                             arrival = peek
                         t = arrival + self._t_pf_dep
@@ -479,22 +486,31 @@ class BatchRunState(_RunState):
                     if earliest > issue:
                         issue = earliest
                     mshrs.retire_complete(issue)
-            # Inlined DramChannel.request(issue, HIGH, blocks=1).
+            # Inlined DramChannel.request(issue, priority, blocks=1);
+            # the core's demand-priority class picks the queue it waits
+            # behind (asymmetric mixes may demote a core to LOW).
             dram = self.dram
             service = dram._transfer_cycles
-            busy = dram._busy_until_high
-            start = issue if issue > busy else busy
-            busy = start + service
-            dram._busy_until_high = busy
-            if busy > dram._busy_until_all:
-                dram._busy_until_all = busy
             dram_stats = dram.stats
-            dram_stats.high_priority_requests += 1
+            if self.demand_priority[core] is _HIGH:
+                busy = dram._busy_until_high
+                start = issue if issue > busy else busy
+                busy = start + service
+                dram._busy_until_high = busy
+                if busy > dram._busy_until_all:
+                    dram._busy_until_all = busy
+                dram_stats.high_priority_requests += 1
+            else:
+                busy = dram._busy_until_all
+                start = issue if issue > busy else busy
+                dram._busy_until_all = start + service
+                dram_stats.low_priority_requests += 1
             dram_stats.requests += 1
             dram_stats.busy_cycles += service
             dram_stats.queue_cycles += start - issue
             completion = start + dram._access_latency_cycles + service
             self._traffic_bytes[_DEMAND_READ] += BLOCK_BYTES
+            self._core_traffic[core][_DEMAND_READ] += BLOCK_BYTES
             # Inlined MshrFile.allocate (capacity was enforced above, and
             # ``existing is None`` rules out a duplicate entry).
             mshr_entries = mshrs._entries
@@ -583,6 +599,7 @@ class BatchRunState(_RunState):
                     )
                 if victim_dirty:
                     self._traffic_bytes[_WRITEBACK] += BLOCK_BYTES
+                    self._core_traffic[core][_WRITEBACK] += BLOCK_BYTES
                     writebacks.append(Eviction(victim_block, True))
         # Inlined CmpHierarchy._fill_l1_into over the dict-backed L1
         # (TagBatchRunState overrides _fill with the generic calls).
@@ -617,7 +634,7 @@ class BatchRunState(_RunState):
             capacity = self._victim_capacity
             if capacity <= 0:
                 if victim_dirty:
-                    hier._l2_fill(victim_block, True, writebacks)
+                    hier._l2_fill(victim_block, True, writebacks, core)
             else:
                 fifo = hier.victims[core]._fifo
                 if victim_block in fifo:
@@ -627,7 +644,9 @@ class BatchRunState(_RunState):
                         displaced = next(iter(fifo))
                         displaced_dirty = fifo.pop(displaced)
                         if displaced_dirty:
-                            hier._l2_fill(displaced, True, writebacks)
+                            hier._l2_fill(
+                                displaced, True, writebacks, core
+                            )
                     fifo[victim_block] = victim_dirty
         if writebacks:
             dram = self.dram
@@ -688,7 +707,7 @@ class TagBatchRunState(BatchRunState):
         writebacks = self._scratch_writebacks
         writebacks.clear()
         hier = self.hierarchy
-        hier._l2_fill(block, False, writebacks)
+        hier._l2_fill(block, False, writebacks, core)
         hier._fill_l1_into(core, block, write, writebacks)
         if writebacks:
             dram = self.dram

@@ -36,7 +36,7 @@ from repro.memory.traffic import TrafficCategory, TrafficMeter
 from repro.prefetchers.base import PrefetcherStats, TemporalPrefetcher
 from repro.prefetchers.stride import StridePrefetcher, StrideStats
 from repro.sim.metrics import CoverageCounts, MlpTracker, SimResult
-from repro.sim.timing import TimingModel
+from repro.sim.timing import TimingModel, demand_priority
 from repro.workloads.trace import Trace
 
 #: Builds the temporal prefetcher under test.  Receives the core count,
@@ -123,7 +123,7 @@ class _RunState:
     #: the batched engine overrides this with the NumPy tag arrays).
     L1_KIND = "dict"
 
-    __slots__ = ('config', 'trace', 'traffic', 'hierarchy', 'dram', 'mshrs', 'stride', 'temporal', 'coverage', 'core_coverage', 'mlp', 'miss_log', 'outstanding', 'clocks', 'cursors', 'measure_start', 'measure_cursor', 'measured_records', 'measuring')
+    __slots__ = ('config', 'trace', 'traffic', 'hierarchy', 'dram', 'mshrs', 'stride', 'temporal', 'coverage', 'core_coverage', 'mlp', 'miss_log', 'outstanding', 'clocks', 'cursors', 'measure_start', 'measure_cursor', 'measured_records', 'measuring', 'demand_priority')
 
     def __init__(
         self,
@@ -133,7 +133,7 @@ class _RunState:
     ) -> None:
         self.config = config
         self.trace = trace
-        self.traffic = TrafficMeter()
+        self.traffic = TrafficMeter(cores=max(1, trace.cores))
         self.hierarchy = CmpHierarchy(
             config.cmp, self.traffic, l1_kind=self.L1_KIND
         )
@@ -166,6 +166,14 @@ class _RunState:
         #: (ROB-window bound on per-core memory-level parallelism).
         self.outstanding: list[list[float]] = [
             [] for _ in range(trace.cores)
+        ]
+        #: DRAM priority class of each core's demand fetches.  Default
+        #: HIGH; asymmetric mixes may demote a core's priority class so
+        #: its demand traffic queues behind every other core's (rate-
+        #: based bandwidth arbitration between co-runners).
+        self.demand_priority = [
+            demand_priority(trace.core_priority_of(core))
+            for core in range(trace.cores)
         ]
         self.clocks = [0.0] * trace.cores
         self.cursors = [0] * trace.cores
@@ -272,7 +280,7 @@ class _RunState:
 
         # 1. Stride prefetcher buffer (part of the base system).
         if self.stride is not None and self.stride.probe(core, block):
-            self.traffic.add_blocks(TrafficCategory.DEMAND_READ)
+            self.traffic.add_block(TrafficCategory.DEMAND_READ, core)
             if self.measuring:
                 self.coverage.stride_covered += 1
                 self.core_coverage[core].stride_covered += 1
@@ -297,11 +305,14 @@ class _RunState:
                     if dep:
                         # A demand hit on an in-flight prefetch upgrades
                         # it to demand urgency: the wait is capped at what
-                        # a fresh high-priority fetch would take (the
-                        # transfer itself was charged at prefetch issue).
+                        # a fresh fetch at the core's demand priority
+                        # would take (the transfer itself was charged at
+                        # prefetch issue).
                         arrival = min(
                             entry.arrival,
-                            self.dram.peek_completion(t, Priority.HIGH),
+                            self.dram.peek_completion(
+                                t, self.demand_priority[core]
+                            ),
                         )
                         t = arrival + timing.prefetch_hit_dep
                     else:
@@ -333,8 +344,10 @@ class _RunState:
                 if earliest is not None:
                     issue = max(issue, earliest)
                     self.mshrs.retire_complete(issue)
-            completion = self.dram.request(issue, Priority.HIGH)
-            self.traffic.add_blocks(TrafficCategory.DEMAND_READ)
+            completion = self.dram.request(
+                issue, self.demand_priority[core]
+            )
+            self.traffic.add_block(TrafficCategory.DEMAND_READ, core)
             self.mshrs.allocate(block, completion)
         if self.measuring:
             self.coverage.uncovered += 1
@@ -409,4 +422,7 @@ class _RunState:
             core_mlp=(
                 self.mlp.per_core() if self.mlp is not None else None
             ),
+            core_traffic_bytes=self.traffic.core_breakdown()[
+                : self.trace.cores
+            ],
         )

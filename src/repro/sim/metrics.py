@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import astuple, dataclass, field, fields
 
-from repro.memory.traffic import TrafficBreakdown
+from repro.memory.traffic import TrafficBreakdown, TrafficCategory
 from repro.prefetchers.base import PrefetcherStats
 
 
@@ -185,6 +185,8 @@ def snapshot_run_state(state) -> dict:
             category.value: count
             for category, count in state.traffic._bytes.items()
         },
+        "core_traffic": state.traffic.core_breakdown(),
+        "demand_priority": [int(p) for p in state.demand_priority],
         "dram": (
             astuple(state.dram.stats),
             state.dram._busy_until_high,
@@ -250,6 +252,7 @@ def snapshot_run_state(state) -> dict:
                 "bucket_buffer": (
                     astuple(temporal.bucket_buffer.stats),
                     list(temporal.bucket_buffer._resident.items()),
+                    dict(temporal.bucket_buffer._dirty_core),
                 ),
                 "engines": [
                     (
@@ -308,6 +311,13 @@ class SimResult:
     core_elapsed_cycles: "list[float] | None" = None
     #: Per-core MLP of uncovered off-chip reads.
     core_mlp: "list[float] | None" = None
+    #: Per-core DRAM traffic attribution: one ``{category: bytes}`` dict
+    #: per core (keys are :class:`TrafficCategory` values), charging
+    #: every byte — demand fills, stream fetches, history reads/writes,
+    #: index probes, write-backs — to the requesting core.  Summing over
+    #: cores reproduces the global counters exactly (the conservation
+    #: invariant the test suite enforces).
+    core_traffic_bytes: "list[dict[str, int]] | None" = None
 
     def workload_of(self, core: int) -> str:
         """The workload that ran on ``core``."""
@@ -356,6 +366,20 @@ class WorkloadSlice:
     throughput: float = 0.0
     #: Off-chip-miss-weighted mean MLP across this workload's cores.
     mlp: float = 0.0
+    #: DRAM bytes attributed to this workload's cores, per traffic
+    #: category (:class:`TrafficCategory` value -> bytes); empty when
+    #: the result predates per-core attribution.
+    traffic_bytes: "dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Meta-data bytes this workload's misses caused (record streams
+        + index updates + stream lookups)."""
+        return sum(
+            self.traffic_bytes.get(category.value, 0)
+            for category in TrafficCategory
+            if category.is_metadata
+        )
 
 
 def per_workload_breakdown(result: SimResult) -> "dict[str, WorkloadSlice]":
@@ -389,6 +413,11 @@ def per_workload_breakdown(result: SimResult) -> "dict[str, WorkloadSlice]":
             )
         piece.measured_records += result.core_measured_records[core]
         piece.throughput += result.core_throughput(core)
+        if result.core_traffic_bytes is not None:
+            for category, count in result.core_traffic_bytes[core].items():
+                piece.traffic_bytes[category] = (
+                    piece.traffic_bytes.get(category, 0) + count
+                )
         if result.core_mlp is not None and core_cov.uncovered > 0:
             piece.mlp += result.core_mlp[core] * core_cov.uncovered
             mlp_weight[name] += core_cov.uncovered

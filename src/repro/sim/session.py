@@ -104,6 +104,10 @@ def trace_fingerprint(trace: Trace) -> str:
         digest.update(repr(tuple(trace.core_workloads)).encode())
     if trace.core_warmup is not None:
         digest.update(repr(tuple(trace.core_warmup)).encode())
+    if trace.core_rates is not None:
+        digest.update(repr(tuple(trace.core_rates)).encode())
+    if trace.core_priorities is not None:
+        digest.update(repr(tuple(trace.core_priorities)).encode())
     for core in range(trace.cores):
         for column in (trace.blocks, trace.work, trace.dep, trace.write):
             array = np.asarray(column[core])

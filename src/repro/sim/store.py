@@ -48,7 +48,10 @@ from repro.workloads.trace import Trace
 #: stores whose root stamp differs are additionally cleared on open.
 #: v2: traces carry per-core workload/warm-up metadata and results
 #: carry per-core coverage/records/cycles/MLP (multiprogrammed mixes).
-SCHEMA_VERSION = 2
+#: v3: traces carry per-core rate/priority metadata (asymmetric mixes)
+#: and results carry the per-core per-category DRAM traffic attribution
+#: (``core_traffic_bytes``).
+SCHEMA_VERSION = 3
 
 _SCHEMA_FILE = "schema.json"
 _COUNTERS_FILE = "counters.json"
@@ -206,6 +209,12 @@ def encode_result(result: SimResult) -> dict:
         "core_mlp": None
         if result.core_mlp is None
         else [float(m) for m in result.core_mlp],
+        "core_traffic_bytes": None
+        if result.core_traffic_bytes is None
+        else [
+            {str(category): int(count) for category, count in per_core.items()}
+            for per_core in result.core_traffic_bytes
+        ],
     }
 
 
@@ -239,6 +248,7 @@ def decode_result(payload: dict) -> SimResult:
         core_measured_records=payload["core_measured_records"],
         core_elapsed_cycles=payload["core_elapsed_cycles"],
         core_mlp=payload["core_mlp"],
+        core_traffic_bytes=payload["core_traffic_bytes"],
     )
 
 

@@ -15,6 +15,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.memory.dram import Priority
+
+#: Per-core demand-priority classes an asymmetric mix may assign
+#: (``!high`` / ``!low`` in a mix spec).  ``high`` is the normal demand
+#: class; a ``low`` core's demand fetches queue behind *all* outstanding
+#: channel work, so equal-priority co-runners (and the prefetcher's
+#: meta-data, which is always low priority) are never delayed behind it
+#: — the bandwidth-arbitration side of rate-based asymmetric scheduling.
+PRIORITY_CLASSES = ("high", "low")
+
+
+def demand_priority(priority_class: "str | None") -> Priority:
+    """Map a core's priority class to its DRAM arbitration priority.
+
+    ``None`` (no class recorded on the trace) means the default demand
+    class.  Unknown classes are rejected here — at engine construction —
+    rather than surfacing as silent HIGH-priority fallbacks mid-run.
+    """
+    if priority_class is None or priority_class == "high":
+        return Priority.HIGH
+    if priority_class == "low":
+        return Priority.LOW
+    raise ValueError(
+        f"unknown priority class {priority_class!r}; "
+        f"expected one of {PRIORITY_CLASSES}"
+    )
+
 
 @dataclass(frozen=True)
 class TimingModel:

@@ -27,13 +27,43 @@ everywhere a homogeneous name is accepted: :func:`repro.workloads.suite
 content-addressed artifact store, and :class:`repro.sim.runner.SimJob`
 grids cache mix traces exactly like homogeneous ones.
 
+Asymmetric scheduling
+=====================
+
+Each component may carry scheduling decorations beyond its workload:
+
+``w*S`` (slices)
+    ``S`` independent, time-sliced instances of ``w`` share the core:
+    their records interleave round-robin, so each instance observes the
+    other's interference on the core's clock — two half-speed OLTP
+    programs on one core next to a full-speed DSS core.
+``w@R`` (rate)
+    The core runs at rate weight ``R``: its compute cycles are
+    stretched by ``1/R`` at generation time (``@0.5`` = half-speed
+    core), modeling duty-cycled or frequency-scaled co-runners.
+``w!low`` (priority class)
+    The core's demand fetches issue at *low* DRAM priority, queueing
+    behind every other core's demand traffic — the bandwidth-
+    arbitration half of asymmetric scheduling
+    (:func:`repro.sim.timing.demand_priority`).
+
+Decorations compose (``mix:oltp-db2*2+web-apache@0.5!low``) and
+canonicalize — ``@1``, ``*1``, and ``!high`` are the defaults and are
+dropped, rates print in shortest ``%g`` form — so every spelling of a
+recipe addresses one store entry.  ``+`` is reserved as the component
+separator, so rates must be spelled without a plus sign (``@5e-1`` is
+fine, ``@5e+1`` is two broken components).
+
 >>> from repro.workloads.mix import MixRecipe
 >>> MixRecipe.parse("mix:2xoltp-db2+2xdss-db2").assign(4)
 ('oltp-db2', 'oltp-db2', 'dss-db2', 'dss-db2')
+>>> MixRecipe.parse("mix:oltp-db2*2+web-apache@0.50!low").name
+'mix:oltp-db2*2+web-apache@0.5!low'
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +72,17 @@ from repro.workloads.trace import Trace
 
 #: Spec-string prefix marking a multiprogrammed mix.
 MIX_PREFIX = "mix:"
+
+#: Decoration markers recognized after a component's workload name.
+_DECORATION = re.compile(r"([*@!])([^*@!]*)")
+
+#: Accepted priority-class spellings -> canonical class.
+_PRIORITY_ALIASES = {
+    "high": "high",
+    "hi": "high",
+    "low": "low",
+    "lo": "low",
+}
 
 #: Named recipes for the paper-motivated contention scenarios.  Each
 #: preset cycles over the available cores, so ``mix-oltp-dss`` means
@@ -59,13 +100,135 @@ def is_mix(name: str) -> bool:
     return name.startswith(MIX_PREFIX) or name in MIX_PRESETS
 
 
+#: Sanity bounds on the asymmetric decorations; outside them the spec
+#: is rejected at parse time (a rate of 1e-9 would overflow the float32
+#: work column, thousands of slices would be a trace-size bomb).
+MAX_SLICES = 8
+MIN_RATE = 1.0 / 64.0
+MAX_RATE = 64.0
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One core slot's schedule: workload + asymmetric decorations."""
+
+    workload: str
+    #: Time-sliced independent instances sharing the core.
+    slices: int = 1
+    #: Rate weight; compute cycles are stretched by ``1/rate``.
+    rate: float = 1.0
+    #: DRAM demand-priority class ("high" | "low").
+    priority: str = "high"
+
+    def __post_init__(self) -> None:
+        if self.slices < 1 or self.slices > MAX_SLICES:
+            raise ValueError(
+                f"slices must be in [1, {MAX_SLICES}], got {self.slices}"
+            )
+        if not (MIN_RATE <= self.rate <= MAX_RATE):
+            raise ValueError(
+                f"rate must be in [{MIN_RATE:g}, {MAX_RATE:g}], "
+                f"got {self.rate!r}"
+            )
+        if self.priority not in ("high", "low"):
+            raise ValueError(
+                f"priority must be 'high' or 'low', got {self.priority!r}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "MixComponent":
+        """Parse one component spec: ``workload[*S][@rate][!priority]``.
+
+        Decorations may appear in any order, each at most once; defaults
+        (``*1``, ``@1``, ``!high``) are legal spellings that canonicalize
+        away.  Malformed decorations raise :class:`ValueError` naming
+        the offending token.
+        """
+        head = re.match(r"[^*@!]+", text)
+        if head is None:
+            raise ValueError(f"mix component {text!r} has no workload name")
+        workload = head.group(0)
+        rest = text[head.end():]
+        consumed = 0
+        slices, rate, priority = 1, 1.0, "high"
+        seen: "set[str]" = set()
+        for marker, value in _DECORATION.findall(rest):
+            consumed += len(marker) + len(value)
+            if marker in seen:
+                raise ValueError(
+                    f"duplicate {marker!r} decoration in mix component "
+                    f"{text!r}"
+                )
+            seen.add(marker)
+            if marker == "*":
+                if not value.isdigit():
+                    raise ValueError(
+                        f"bad slice count {value!r} in mix component "
+                        f"{text!r} (want an integer, e.g. 'oltp-db2*2')"
+                    )
+                slices = int(value)
+            elif marker == "@":
+                try:
+                    rate = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"bad rate {value!r} in mix component {text!r} "
+                        "(want a number, e.g. 'web-apache@0.5')"
+                    ) from None
+                # Snap to the canonical ``%g`` spelling so the
+                # canonical string and the stored float agree —
+                # otherwise two rates that print identically could
+                # share a recipe name yet generate different traces.
+                # (nan/inf round-trip unchanged and are rejected by the
+                # range check below.)
+                rate = float(f"{rate:g}")
+            else:
+                priority = _PRIORITY_ALIASES.get(value.lower())
+                if priority is None:
+                    raise ValueError(
+                        f"bad priority class {value!r} in mix component "
+                        f"{text!r} (want 'high' or 'low')"
+                    )
+        if consumed != len(rest):
+            raise ValueError(
+                f"malformed decorations {rest!r} in mix component {text!r}"
+            )
+        return cls(
+            workload=workload, slices=slices, rate=rate, priority=priority
+        )
+
+    @property
+    def canonical(self) -> str:
+        """Shortest spelling: defaults dropped, rate in ``%g`` form."""
+        text = self.workload
+        if self.slices != 1:
+            text += f"*{self.slices}"
+        if self.rate != 1.0:
+            text += f"@{self.rate:g}"
+        if self.priority != "high":
+            text += f"!{self.priority}"
+        return text
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every decoration is at its default."""
+        return (
+            self.slices == 1
+            and self.rate == 1.0
+            and self.priority == "high"
+        )
+
+
 @dataclass(frozen=True)
 class MixRecipe:
-    """An ordered tuple of component workloads, one per core slot.
+    """An ordered tuple of component specs, one per core slot.
 
     Fewer components than cores cycle round-robin; the canonical spec
     (:attr:`name`) is what cache keys, trace names, and CLI output use,
-    so ``mix:2xa+2xb`` and ``mix:a+a+b+b`` address the same artifacts.
+    so ``mix:2xa+2xb`` and ``mix:a+a+b+b`` address the same artifacts —
+    and so do ``mix:a@0.50`` and ``mix:a@.5``.  Components are stored
+    as canonical spec strings (plain workload names for symmetric
+    slots); :attr:`parsed` yields the structured view.
     """
 
     components: "tuple[str, ...]"
@@ -75,15 +238,20 @@ class MixRecipe:
 
         if not self.components:
             raise ValueError("a mix needs at least one component workload")
+        canonical = []
         for component in self.components:
-            get_spec(component)  # raises on unknown names
+            parsed = MixComponent.parse(component)
+            get_spec(parsed.workload)  # raises on unknown names
+            canonical.append(parsed.canonical)
+        object.__setattr__(self, "components", tuple(canonical))
 
     @classmethod
     def parse(cls, spec: str) -> "MixRecipe":
         """Build a recipe from a spec string or preset name.
 
         Accepted forms: ``mix:a+b+c``, ``mix:2xa+2xb`` (repeat
-        shorthand), or any :data:`MIX_PRESETS` key.
+        shorthand), asymmetric decorations per component
+        (``mix:a*2+b@0.5!low``), or any :data:`MIX_PRESETS` key.
         """
         spec = MIX_PRESETS.get(spec, spec)
         if not spec.startswith(MIX_PREFIX):
@@ -118,13 +286,29 @@ class MixRecipe:
             for count, name in parts
         )
 
+    @property
+    def parsed(self) -> "tuple[MixComponent, ...]":
+        """Structured view of the (already canonical) components."""
+        return tuple(
+            MixComponent.parse(component) for component in self.components
+        )
+
     def assign(self, cores: int) -> "tuple[str, ...]":
-        """Per-core workload assignment (components cycle round-robin)."""
+        """Per-core component-spec assignment (cycling round-robin)."""
         if cores <= 0:
             raise ValueError("cores must be positive")
         return tuple(
             self.components[core % len(self.components)]
             for core in range(cores)
+        )
+
+    def assign_components(self, cores: int) -> "tuple[MixComponent, ...]":
+        """Per-core structured assignment (cycling round-robin)."""
+        parsed = self.parsed
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        return tuple(
+            parsed[core % len(parsed)] for core in range(cores)
         )
 
 
@@ -139,6 +323,47 @@ def core_seed(seed: int, core: int) -> int:
     return int(state[0]) << 32 | int(state[1])
 
 
+def slice_seed(seed: int, core: int, slot: int) -> int:
+    """Seed of time-sliced instance ``slot`` on ``core``.
+
+    Slot 0 reuses :func:`core_seed` so a single-instance core generates
+    the exact trace it did before slicing existed (fingerprint-stable);
+    further slots mix the slot index into the seed sequence.
+    """
+    if slot == 0:
+        return core_seed(seed, core)
+    state = np.random.SeedSequence([seed, core, slot]).generate_state(2)
+    return int(state[0]) << 32 | int(state[1])
+
+
+def _interleave_round_robin(
+    columns: "list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Merge per-instance trace columns record-by-record, round-robin.
+
+    Models time-slicing at record granularity: the core runs one record
+    of each live instance in turn, so every instance's compute and
+    stalls dilate the others' wall-clock.  Instances that run out simply
+    drop from the rotation (unequal lengths are legal).
+    """
+    if len(columns) == 1:
+        return columns[0]
+    # Record k of instance i sorts at key k * n + i; a stable argsort of
+    # the concatenated keys is the round-robin permutation.
+    n = len(columns)
+    keys = np.concatenate([
+        np.arange(len(blocks), dtype=np.int64) * n + i
+        for i, (blocks, _, _, _) in enumerate(columns)
+    ])
+    order = np.argsort(keys, kind="stable")
+    return (
+        np.concatenate([c[0] for c in columns])[order],
+        np.concatenate([c[1] for c in columns])[order],
+        np.concatenate([c[2] for c in columns])[order],
+        np.concatenate([c[3] for c in columns])[order],
+    )
+
+
 def generate_mix(
     recipe: "MixRecipe | str",
     scale: object = "bench",
@@ -148,11 +373,13 @@ def generate_mix(
 ) -> Trace:
     """Generate a multiprogrammed mix trace.
 
-    Each core's component workload is generated as an independent
-    single-core instance (own seed, own structures), then relocated
-    into a disjoint slice of the physical address space and assembled
-    into one multi-core :class:`~repro.workloads.trace.Trace` whose
-    name is the recipe's canonical spec.
+    Each core's component is generated as ``slices`` independent
+    single-core instances (own seeds, own structures), each relocated
+    into a disjoint slice of the physical address space, interleaved
+    round-robin onto the core, rate-scaled, and assembled into one
+    multi-core :class:`~repro.workloads.trace.Trace` whose name is the
+    recipe's canonical spec.  Symmetric recipes produce bit-identical
+    traces to the pre-asymmetric generator (fingerprint-stable).
     """
     from repro.workloads.suite import generate as generate_homogeneous
     from repro.workloads.suite import get_scale
@@ -160,31 +387,60 @@ def generate_mix(
     if isinstance(recipe, str):
         recipe = MixRecipe.parse(recipe)
     preset = get_scale(scale)
-    assignment = recipe.assign(cores)
+    component_assignment = recipe.assign_components(cores)
+    assignment = tuple(
+        component.canonical for component in component_assignment
+    )
 
     blocks: "list[np.ndarray]" = []
     work: "list[np.ndarray]" = []
     dep: "list[np.ndarray]" = []
     write: "list[np.ndarray]" = []
     core_warmup: "list[float]" = []
+    core_rates: "list[float]" = []
+    core_priorities: "list[str]" = []
     base = 0
-    for core, workload in enumerate(assignment):
-        instance = generate_homogeneous(
-            workload,
-            scale=preset,
-            cores=1,
-            seed=core_seed(seed, core),
-            records_per_core=records_per_core,
+    for core, component in enumerate(component_assignment):
+        instances = []
+        warmups = []
+        for slot in range(component.slices):
+            instance = generate_homogeneous(
+                component.workload,
+                scale=preset,
+                cores=1,
+                seed=slice_seed(seed, core, slot),
+                records_per_core=records_per_core,
+            )
+            instances.append((
+                instance.blocks[0] + np.int64(base),
+                instance.work[0],
+                instance.dep[0],
+                instance.write[0],
+            ))
+            warmups.append(instance.warmup_fraction)
+            # Generators emit blocks in [0, working_set_blocks);
+            # advancing the base by that span keeps every instance's
+            # address space disjoint (across cores *and* slices).
+            base += instance.working_set_blocks
+        core_blocks, core_work, core_dep, core_write = (
+            _interleave_round_robin(instances)
         )
-        blocks.append(instance.blocks[0] + np.int64(base))
-        work.append(instance.work[0])
-        dep.append(instance.dep[0])
-        write.append(instance.write[0])
-        core_warmup.append(instance.warmup_fraction)
-        # Generators emit blocks in [0, working_set_blocks); advancing
-        # the base by that span keeps per-core address spaces disjoint.
-        base += instance.working_set_blocks
+        if component.rate != 1.0:
+            # A core at rate r runs its compute 1/r slower; float32
+            # division keeps the column dtype (and /1.0 would be exact,
+            # but the branch keeps symmetric traces byte-identical).
+            core_work = core_work / np.float32(component.rate)
+        blocks.append(core_blocks)
+        work.append(core_work)
+        dep.append(core_dep)
+        write.append(core_write)
+        core_warmup.append(max(warmups))
+        core_rates.append(component.rate)
+        core_priorities.append(component.priority)
 
+    symmetric = all(
+        component.is_symmetric for component in component_assignment
+    )
     return Trace(
         name=recipe.name,
         blocks=blocks,
@@ -195,4 +451,8 @@ def generate_mix(
         warmup_fraction=max(core_warmup) if core_warmup else 0.25,
         core_workloads=list(assignment),
         core_warmup=core_warmup,
+        # Default-rate/-priority recipes omit the metadata entirely so
+        # pre-existing symmetric traces keep their fingerprints.
+        core_rates=None if symmetric else core_rates,
+        core_priorities=None if symmetric else core_priorities,
     )

@@ -59,6 +59,15 @@ class Trace:
     #: Per-core warm-up fractions for mixes whose component workloads
     #: warm differently (None: ``warmup_fraction`` applies to all cores).
     core_warmup: "list[float] | None" = None
+    #: Per-core rate weights of asymmetric mixes (None: every core runs
+    #: at full rate).  The rate is already baked into the ``work``
+    #: columns at generation time (a core at rate ``r`` has its compute
+    #: stretched by ``1/r``); the list is carried for reporting.
+    core_rates: "list[float] | None" = None
+    #: Per-core DRAM demand-priority classes ("high"/"low"; None: every
+    #: core issues demand fetches at the normal high priority).  The
+    #: engines read this to arbitrate the shared channel.
+    core_priorities: "list[str] | None" = None
 
     def __post_init__(self) -> None:
         lengths = {len(self.blocks), len(self.work), len(self.dep),
@@ -73,6 +82,8 @@ class Trace:
         for label, per_core in (
             ("core_workloads", self.core_workloads),
             ("core_warmup", self.core_warmup),
+            ("core_rates", self.core_rates),
+            ("core_priorities", self.core_priorities),
         ):
             if per_core is not None and len(per_core) != len(self.blocks):
                 raise ValueError(f"{label} must list one entry per core")
@@ -102,6 +113,18 @@ class Trace:
         if self.core_workloads is not None:
             return self.core_workloads[core]
         return self.name
+
+    def core_rate_of(self, core: int) -> float:
+        """Rate weight of ``core`` (1.0 unless an asymmetric mix set it)."""
+        if self.core_rates is not None:
+            return self.core_rates[core]
+        return 1.0
+
+    def core_priority_of(self, core: int) -> "str | None":
+        """DRAM demand-priority class of ``core`` (None = default high)."""
+        if self.core_priorities is not None:
+            return self.core_priorities[core]
+        return None
 
     def stats(self) -> TraceStats:
         """Compute summary statistics across all cores."""
@@ -142,6 +165,16 @@ class Trace:
                 if self.core_warmup is not None
                 else None
             ),
+            core_rates=(
+                list(self.core_rates)
+                if self.core_rates is not None
+                else None
+            ),
+            core_priorities=(
+                list(self.core_priorities)
+                if self.core_priorities is not None
+                else None
+            ),
         )
 
     def save(self, path: str) -> None:
@@ -163,6 +196,14 @@ class Trace:
         if self.core_warmup is not None:
             payload["meta_core_warmup"] = np.array(
                 self.core_warmup, dtype=np.float64
+            )
+        if self.core_rates is not None:
+            payload["meta_core_rates"] = np.array(
+                self.core_rates, dtype=np.float64
+            )
+        if self.core_priorities is not None:
+            payload["meta_core_priorities"] = np.array(
+                self.core_priorities
             )
         for core in range(self.cores):
             payload[f"blocks_{core}"] = self.blocks[core]
@@ -189,6 +230,16 @@ class Trace:
             if "meta_core_warmup" in files
             else None
         )
+        core_rates = (
+            [float(f) for f in data["meta_core_rates"]]
+            if "meta_core_rates" in files
+            else None
+        )
+        core_priorities = (
+            [str(p) for p in data["meta_core_priorities"]]
+            if "meta_core_priorities" in files
+            else None
+        )
         return cls(
             name=str(data["meta_name"][0]),
             blocks=[data[f"blocks_{c}"] for c in range(cores)],
@@ -199,6 +250,8 @@ class Trace:
             warmup_fraction=float(data["meta_warmup"][0]),
             core_workloads=core_workloads,
             core_warmup=core_warmup,
+            core_rates=core_rates,
+            core_priorities=core_priorities,
         )
 
 

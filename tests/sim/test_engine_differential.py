@@ -17,7 +17,12 @@ Each seed fully determines the case, so failures replay exactly:
 A quarter of the cases draw *multiprogrammed mix* traces from the real
 suite generators (heterogeneous per-core workloads, disjoint address
 spaces, per-core warm-up) instead of the synthetic motif fuzzer, so the
-mix subsystem is differentially fuzzed alongside it.
+mix subsystem is differentially fuzzed alongside it.  In the nightly
+tier those mix draws are randomly decorated with asymmetric scheduling
+(time slices, rate weights, low demand-priority cores); three pinned
+fast seeds force asymmetric mixes so tier-1 covers those engine paths
+too.  Snapshots include the per-core per-category traffic counters and
+per-core demand priorities, compared deeply between engines.
 
 The fast tier runs a small pinned seed set; the nightly-depth sweep
 (``pytest -m slow``) runs a 48-seed window whose base rotates with the
@@ -116,23 +121,39 @@ def _random_trace(rng: np.random.Generator, cores: int) -> Trace:
     )
 
 
-def _mix_trace(rng: np.random.Generator, cores: int) -> Trace:
+def _mix_trace(
+    rng: np.random.Generator, cores: int, allow_asymmetric: bool = False
+) -> Trace:
     """A multiprogrammed mix trace drawn from the real suite generators.
 
     Exercises the paths the synthetic fuzz trace cannot: heterogeneous
     per-core workloads, per-core warm-up fractions, and disjoint
     per-core address spaces competing only through the shared levels.
+
+    With ``allow_asymmetric`` (the nightly tier, and the pinned fast
+    asymmetric cases), components are randomly decorated with time
+    slices, rate weights, and demand-priority classes, so the rate-
+    based scheduling and per-core DRAM arbitration paths are fuzzed
+    differentially too.
     """
     from repro.workloads.mix import MixRecipe, generate_mix
     from repro.workloads.suite import FIGURE_ORDER
 
     names = list(FIGURE_ORDER)
     count = int(rng.integers(2, 4))
-    components = tuple(
-        names[int(rng.integers(0, len(names)))] for _ in range(count)
-    )
+    components = []
+    for _ in range(count):
+        component = names[int(rng.integers(0, len(names)))]
+        if allow_asymmetric:
+            if rng.random() < 0.4:
+                component += f"*{int(rng.integers(2, 4))}"
+            if rng.random() < 0.4:
+                component += f"@{float(rng.choice([0.25, 0.5, 2.0])):g}"
+            if rng.random() < 0.4:
+                component += "!low"
+        components.append(component)
     return generate_mix(
-        MixRecipe(components),
+        MixRecipe(tuple(components)),
         scale="test",
         cores=cores,
         seed=int(rng.integers(0, 2**31)),
@@ -212,11 +233,16 @@ def _run_and_snapshot(state_class, config, trace, factory):
     return warm, final, result
 
 
-def _check_seed(seed: int, include_tag_engine: bool) -> None:
+def _check_seed(
+    seed: int,
+    include_tag_engine: bool,
+    allow_asymmetric: bool = False,
+    force_mix: bool = False,
+) -> None:
     rng = np.random.default_rng(seed)
     cores = int(rng.integers(1, 5))
-    if rng.random() < 0.25:
-        trace = _mix_trace(rng, cores)
+    if force_mix or rng.random() < 0.25:
+        trace = _mix_trace(rng, cores, allow_asymmetric=allow_asymmetric)
     else:
         trace = _random_trace(rng, cores)
     config = _random_machine(rng, cores)
@@ -252,6 +278,10 @@ def _check_seed(seed: int, include_tag_engine: bool) -> None:
         assert candidate[2].elapsed_cycles == reference[2].elapsed_cycles
         assert candidate[2].mlp == reference[2].mlp
         assert candidate[2].miss_log == reference[2].miss_log
+        assert (
+            candidate[2].core_traffic_bytes
+            == reference[2].core_traffic_bytes
+        )
 
 
 @pytest.mark.parametrize("seed", FAST_SEEDS)
@@ -259,10 +289,26 @@ def test_differential(seed):
     _check_seed(seed, include_tag_engine=(seed % 2 == 0))
 
 
+#: Pinned fast seeds that force asymmetric mix traces, so the rate /
+#: priority / attribution paths are differentially covered in tier-1
+#: (the nightly tier additionally decorates its random mix draws).
+ASYMMETRIC_SEEDS = (101, 102, 103)
+
+
+@pytest.mark.parametrize("seed", ASYMMETRIC_SEEDS)
+def test_differential_asymmetric(seed):
+    _check_seed(
+        seed,
+        include_tag_engine=(seed % 2 == 0),
+        allow_asymmetric=True,
+        force_mix=True,
+    )
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", SLOW_SEEDS)
 def test_differential_nightly(seed):
-    _check_seed(seed, include_tag_engine=True)
+    _check_seed(seed, include_tag_engine=True, allow_asymmetric=True)
 
 
 def test_snapshot_captures_stms_metadata():
@@ -281,3 +327,11 @@ def test_snapshot_captures_stms_metadata():
             "bucket_buffer", "engines"} <= set(snap["stms"])
     assert len(snap["stms"]["histories"]) == 2
     assert snap["traffic"]  # per-category byte counters present
+    # Per-core traffic attribution must be part of the compared state:
+    # one per-category dict per core, summing to the global counters.
+    assert len(snap["core_traffic"]) == 2
+    assert len(snap["demand_priority"]) == 2
+    for category, total in snap["traffic"].items():
+        assert sum(
+            per_core[category] for per_core in snap["core_traffic"]
+        ) == total

@@ -29,7 +29,15 @@ from repro.sim.session import SimSession
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 GOLDEN_WORKLOADS = ("web-apache", "sci-ocean")
 #: The mix sweep pins its own workload argument: mix specs, not names.
-GOLDEN_MIXES = ("mix:oltp-db2+dss-db2", "mix:web-apache+sci-ocean")
+#: The third mix is asymmetric (time-sliced instances, a rate weight,
+#: and a low demand-priority class) so the rate/priority scheduling
+#: path and the per-workload traffic attribution sit inside the drift
+#: gate alongside the symmetric mixes.
+GOLDEN_MIXES = (
+    "mix:oltp-db2+dss-db2",
+    "mix:web-apache+sci-ocean",
+    "mix:oltp-db2*2+sci-ocean@0.5!low",
+)
 GOLDEN_FIGURES = (
     "fig5-left", "fig5-right", "fig7", "fig8", "mix-contention",
 )

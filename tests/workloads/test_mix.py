@@ -145,6 +145,97 @@ class TestGenerateMix:
         assert cut.core_records(0) == 100
 
 
+class TestAsymmetricMix:
+    def _asym(self, spec="mix:oltp-db2*2+dss-db2@0.5!low", **overrides):
+        options = dict(
+            scale="test", cores=2, seed=7, records_per_core=400
+        )
+        options.update(overrides)
+        return generate_mix(spec, **options)
+
+    def test_metadata_recorded(self):
+        trace = self._asym()
+        assert trace.core_workloads == ["oltp-db2*2", "dss-db2@0.5!low"]
+        assert trace.core_rates == [1.0, 0.5]
+        assert trace.core_priorities == ["high", "low"]
+        assert trace.core_rate_of(1) == 0.5
+        assert trace.core_priority_of(1) == "low"
+
+    def test_symmetric_recipes_record_no_asymmetric_metadata(self):
+        trace = generate_mix(
+            "mix:oltp-db2+dss-db2", scale="test", cores=2, seed=7,
+            records_per_core=400,
+        )
+        assert trace.core_rates is None
+        assert trace.core_priorities is None
+        assert trace.core_rate_of(0) == 1.0
+        assert trace.core_priority_of(0) is None
+
+    def test_time_slices_interleave_independent_instances(self):
+        sliced = self._asym(spec="mix:oltp-db2*2+dss-db2")
+        single = generate_mix(
+            "mix:oltp-db2+dss-db2", scale="test", cores=2, seed=7,
+            records_per_core=400,
+        )
+        # Two instances roughly double the core's records (instance
+        # lengths vary slightly with the seed), and slice 0 — which
+        # reuses the unsliced instance's seed — contributes every other
+        # record at the front of the interleave.
+        assert sliced.core_records(0) >= int(
+            1.8 * single.core_records(0)
+        )
+        assert np.array_equal(
+            sliced.blocks[0][0::2][:50], single.blocks[0][:50]
+        )
+
+    def test_rate_stretches_compute(self):
+        slow = self._asym(spec="mix:oltp-db2+dss-db2@0.5")
+        fast = generate_mix(
+            "mix:oltp-db2+dss-db2", scale="test", cores=2, seed=7,
+            records_per_core=400,
+        )
+        assert np.array_equal(
+            slow.work[1], fast.work[1] / np.float32(0.5)
+        )
+        assert np.array_equal(slow.work[0], fast.work[0])
+
+    def test_round_trip_preserves_asymmetric_metadata(self, tmp_path):
+        from repro.sim.session import trace_fingerprint
+
+        trace = self._asym()
+        path = str(tmp_path / "asym.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.core_rates == trace.core_rates
+        assert loaded.core_priorities == trace.core_priorities
+        assert trace_fingerprint(loaded) == trace_fingerprint(trace)
+
+    def test_sliced_preserves_asymmetric_metadata(self):
+        trace = self._asym()
+        cut = trace.sliced(100)
+        assert cut.core_rates == trace.core_rates
+        assert cut.core_priorities == trace.core_priorities
+
+    def test_fingerprint_distinguishes_priorities(self):
+        from repro.sim.session import trace_fingerprint
+
+        low = self._asym(spec="mix:oltp-db2+dss-db2!low")
+        high = self._asym(spec="mix:oltp-db2+dss-db2")
+        # Identical columns (priority does not touch generation), but
+        # the scheduling metadata must separate the cache entries.
+        assert np.array_equal(low.blocks[1], high.blocks[1])
+        assert trace_fingerprint(low) != trace_fingerprint(high)
+
+    def test_low_priority_core_demands_queue_behind_others(self):
+        from repro.memory.dram import Priority
+        from repro.sim.engine import _RunState
+        from repro.sim.runner import make_sim_config
+
+        trace = self._asym()
+        state = _RunState(make_sim_config("test"), trace, None)
+        assert state.demand_priority == [Priority.HIGH, Priority.LOW]
+
+
 class TestMixStoreIntegration:
     def test_recipe_key_spelling_independent(self):
         from repro.sim.session import trace_recipe_key

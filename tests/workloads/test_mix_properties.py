@@ -1,0 +1,188 @@
+"""Property-based tests for mix-spec parsing and canonicalization.
+
+The load-bearing contract: a mix recipe is a *quotient* of its
+spellings.  Any spelling of the same schedule — repeat shorthand versus
+explicit repetition, default decorations written out or omitted,
+alternate rate formats and priority aliases, decorations in any order —
+must canonicalize to one ``name``, address one ``trace_recipe_key``
+(hence one artifact-store entry), and survive a
+``MixRecipe -> name -> parse`` round trip unchanged.  Malformed
+decorations must be rejected with errors that name the offending token.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.session import trace_recipe_key
+from repro.workloads.mix import (
+    MAX_RATE,
+    MAX_SLICES,
+    MIN_RATE,
+    MIX_PREFIX,
+    MixComponent,
+    MixRecipe,
+)
+from repro.workloads.suite import FIGURE_ORDER, get_scale
+
+_WORKLOADS = st.sampled_from(FIGURE_ORDER)
+
+#: Rates drawn from the canonical-%g fixed points (any float the parser
+#: accepts is snapped onto this set, so drawing from it keeps the
+#: "already canonical" property the fixed-point assertions rely on).
+_RATES = st.sampled_from(
+    [0.25, 0.5, 1.0, 2.0, 4.0, 0.125, 1.5, 3.0]
+)
+
+_COMPONENTS = st.builds(
+    MixComponent,
+    workload=_WORKLOADS,
+    slices=st.integers(min_value=1, max_value=MAX_SLICES),
+    rate=_RATES,
+    priority=st.sampled_from(["high", "low"]),
+)
+
+
+def _spell_component(component: MixComponent, draw) -> str:
+    """One random spelling of ``component`` (defaults may be explicit,
+    decorations in any order, rates in alternate formats)."""
+    decorations = []
+    if component.slices != 1 or draw(st.booleans()):
+        decorations.append(f"*{component.slices}")
+    if component.rate != 1.0 or draw(st.booleans()):
+        rate = component.rate
+        # No "%e": its "+00" exponent would collide with the component
+        # separator ("+"), which the grammar reserves — a rate must be
+        # spelled without a plus sign.
+        spelling = draw(
+            st.sampled_from(["%g", "%.4f", "%.6g"])
+        )
+        decorations.append(f"@{spelling % rate}")
+    if component.priority != "high" or draw(st.booleans()):
+        alias = {
+            "high": ["high", "hi", "HIGH"],
+            "low": ["low", "lo", "LOW"],
+        }[component.priority]
+        decorations.append(f"!{draw(st.sampled_from(alias))}")
+    order = draw(st.permutations(range(len(decorations))))
+    return component.workload + "".join(decorations[i] for i in order)
+
+
+@st.composite
+def recipe_and_spelling(draw):
+    """A recipe plus one randomized spelling of its spec string."""
+    components = draw(
+        st.lists(_COMPONENTS, min_size=1, max_size=4)
+    )
+    parts = []
+    index = 0
+    while index < len(components):
+        # Optionally run-length a repeated prefix with the Nx shorthand.
+        run = 1
+        while (
+            index + run < len(components)
+            and components[index + run] == components[index]
+        ):
+            run += 1
+        take = draw(st.integers(min_value=1, max_value=run))
+        spelled = _spell_component(components[index], draw)
+        if take > 1 and draw(st.booleans()):
+            parts.append(f"{take}x{spelled}")
+        else:
+            parts.extend(
+                _spell_component(components[index + k], draw)
+                for k in range(take)
+            )
+        index += take
+    recipe = MixRecipe(
+        components=tuple(c.canonical for c in components)
+    )
+    return recipe, MIX_PREFIX + "+".join(parts)
+
+
+class TestCanonicalization:
+    @settings(max_examples=120, deadline=None)
+    @given(recipe_and_spelling())
+    def test_any_spelling_canonicalizes_to_one_name(self, case):
+        recipe, spelling = case
+        assert MixRecipe.parse(spelling).name == recipe.name
+
+    @settings(max_examples=120, deadline=None)
+    @given(recipe_and_spelling())
+    def test_any_spelling_shares_one_trace_recipe_key(self, case):
+        recipe, spelling = case
+        preset = get_scale("test")
+        assert trace_recipe_key(
+            spelling, preset, 4, 7, None
+        ) == trace_recipe_key(recipe.name, preset, 4, 7, None)
+
+    @settings(max_examples=120, deadline=None)
+    @given(recipe_and_spelling())
+    def test_round_trips_through_mix_recipe(self, case):
+        recipe, spelling = case
+        reparsed = MixRecipe.parse(MixRecipe.parse(spelling).name)
+        assert reparsed == recipe
+        assert reparsed.parsed == recipe.parsed
+        # Canonicalization is idempotent (a true fixed point).
+        assert MixRecipe.parse(reparsed.name).name == reparsed.name
+
+    @settings(max_examples=60, deadline=None)
+    @given(_COMPONENTS)
+    def test_component_canonical_fixed_point(self, component):
+        parsed = MixComponent.parse(component.canonical)
+        assert parsed == component
+        assert parsed.canonical == component.canonical
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "spec, match",
+        [
+            ("mix:oltp-db2@", "bad rate"),
+            ("mix:oltp-db2@abc", "bad rate"),
+            ("mix:oltp-db2@0", "rate must be in"),
+            ("mix:oltp-db2@-1", "rate must be in"),
+            ("mix:oltp-db2@inf", "rate must be in"),
+            ("mix:oltp-db2@nan", "rate must be in"),
+            (f"mix:oltp-db2@{MAX_RATE * 2:g}", "rate must be in"),
+            (f"mix:oltp-db2@{MIN_RATE / 2:g}", "rate must be in"),
+            ("mix:oltp-db2*", "bad slice count"),
+            ("mix:oltp-db2*0", "slices must be in"),
+            ("mix:oltp-db2*1.5", "bad slice count"),
+            ("mix:oltp-db2*-2", "bad slice count"),
+            (f"mix:oltp-db2*{MAX_SLICES + 1}", "slices must be in"),
+            ("mix:oltp-db2!", "bad priority class"),
+            ("mix:oltp-db2!urgent", "bad priority class"),
+            ("mix:oltp-db2@0.5@0.5", "duplicate '@'"),
+            ("mix:oltp-db2*2*2", "duplicate '[*]'"),
+            ("mix:oltp-db2!low!low", "duplicate '!'"),
+            ("mix:@0.5", "bad mix component|no workload name"),
+            ("mix:not-a-workload@0.5", "unknown workload"),
+        ],
+    )
+    def test_malformed_specs_rejected_with_clear_errors(
+        self, spec, match
+    ):
+        with pytest.raises(ValueError, match=match):
+            MixRecipe.parse(spec)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        _WORKLOADS,
+        st.text(
+            alphabet="*@!0123456789abcx.", min_size=1, max_size=6
+        ),
+    )
+    def test_fuzzing_decorations_never_accepts_silently(
+        self, workload, garbage
+    ):
+        """Garbage decorations either parse to a valid component (whose
+        canonical form re-parses equal) or raise ValueError — never a
+        crash of another type, never a silently wrong schedule."""
+        spec = f"{MIX_PREFIX}{workload}{garbage}"
+        try:
+            recipe = MixRecipe.parse(spec)
+        except ValueError:
+            return
+        assert MixRecipe.parse(recipe.name) == recipe
