@@ -1,16 +1,30 @@
-"""BENCH regression gate: compare the latest BENCH json to the baseline.
+"""BENCH regression gate: compare the latest BENCH jsons to the baseline.
 
 The speedup harness writes a machine-readable ``BENCH_<stamp>.json``
-per invocation; CI runs it in ``--store`` mode and then calls this
-comparator, which fails the job when the *cold-store* wall time
-regressed more than the tolerance against the committed
-``benchmarks/BASELINE.json``.  Warm time is reported but not gated
-(it is dominated by process startup and disk cache noise at CI scale).
+per invocation; CI runs it (``--store`` mode and ``--fig7-sweep`` mode)
+and then calls this comparator, which fails the job when any gated
+number regressed more than the tolerance against the committed
+``benchmarks/BASELINE.json``.
+
+The baseline holds a list of entries under ``"baselines"`` (a bare
+single entry, the pre-multi format, is still accepted).  For each
+entry the newest BENCH record with the same mode/experiment/scale is
+located and two checks run:
+
+* ``cold_s`` must stay within ``(1 + tolerance)`` of the baseline's —
+  the absolute wall-time gate.  Warm time is reported but not gated
+  (dominated by process startup and disk cache noise at CI scale).
+* if the entry carries ``max_ratio``, the record's own
+  ``cold_s / per_cell_s`` must not exceed it — the fig7-sweep entry
+  uses this to pin the grouped-vs-per-cell bound (0.5x) directly, so
+  the sweep win is enforced relative to the *same run's* per-cell
+  cost, immune to runner speed.
 
 Refreshing the baseline after an intentional performance change::
 
     python benchmarks/speedup_harness.py --store --experiment fig4 \
         --scale test
+    python benchmarks/speedup_harness.py --fig7-sweep --scale test
     python benchmarks/check_bench.py --update
 
 Environment: ``REPRO_BENCH_TOLERANCE`` overrides ``--tolerance``
@@ -35,10 +49,17 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
+def _entries(baseline: dict) -> "list[dict]":
+    """Baseline entries; a bare single-entry file is the legacy format."""
+    if "baselines" in baseline:
+        return list(baseline["baselines"])
+    return [baseline]
+
+
 def latest_bench(
     mode: str, experiment: str, scale: str
 ) -> "tuple[str, dict] | None":
-    """The newest BENCH record matching the baseline's identity."""
+    """The newest BENCH record matching one baseline entry's identity."""
     candidates = sorted(glob.glob(os.path.join(OUTPUT_DIR, "BENCH_*.json")))
     for path in reversed(candidates):
         try:
@@ -54,6 +75,90 @@ def latest_bench(
     return None
 
 
+def _check_entry(entry: dict, tolerance: float) -> int:
+    """Gate one baseline entry; 0 OK, 1 regression, 2 no record."""
+    identity = f"{entry['mode']}/{entry['experiment']}@{entry['scale']}"
+    found = latest_bench(entry["mode"], entry["experiment"], entry["scale"])
+    if found is None:
+        print(
+            f"no BENCH_*.json in {OUTPUT_DIR} matching {identity}; "
+            "run the speedup harness first"
+        )
+        return 2
+    path, record = found
+
+    cold = float(record["cold_s"])
+    budget = float(entry["cold_s"]) * (1.0 + tolerance)
+    verdict = "OK" if cold <= budget else "REGRESSION"
+    print(
+        f"{identity} cold wall time: {cold:.2f}s vs baseline "
+        f"{entry['cold_s']:.2f}s (budget {budget:.2f}s at "
+        f"+{tolerance:.0%}) -> {verdict}"
+    )
+    if record.get("warm_s") is not None:
+        print(
+            f"  warm (ungated): {float(record['warm_s']):.2f}s "
+            f"(baseline {float(entry.get('warm_s', 0.0)):.2f}s), "
+            f"from {path}"
+        )
+    rc = 0 if verdict == "OK" else 1
+
+    max_ratio = entry.get("max_ratio")
+    if max_ratio is not None and record.get("per_cell_s"):
+        ratio = cold / float(record["per_cell_s"])
+        ratio_verdict = "OK" if ratio <= float(max_ratio) else "REGRESSION"
+        print(
+            f"  grouped/per-cell ratio: {ratio:.2f} "
+            f"(bound {float(max_ratio):.2f}) -> {ratio_verdict}"
+        )
+        if ratio_verdict != "OK":
+            rc = max(rc, 1)
+    return rc
+
+
+def _update(entries: "list[dict]", baseline_path: str) -> int:
+    """Rewrite each entry from its latest matching BENCH record."""
+    fresh_entries = []
+    for entry in entries:
+        found = latest_bench(
+            entry["mode"], entry["experiment"], entry["scale"]
+        )
+        if found is None:
+            print(
+                f"no BENCH record for {entry['mode']}/"
+                f"{entry['experiment']}@{entry['scale']}; keeping old "
+                "entry"
+            )
+            fresh_entries.append(entry)
+            continue
+        path, record = found
+        fresh = {
+            "mode": record["mode"],
+            "experiment": record["experiment"],
+            "scale": record["scale"],
+            "cold_s": record["cold_s"],
+            "source_stamp": record.get("stamp"),
+        }
+        if record.get("warm_s") is not None:
+            fresh["warm_s"] = record["warm_s"]
+        if record.get("per_cell_s") is not None:
+            fresh["per_cell_s"] = record["per_cell_s"]
+        if entry.get("max_ratio") is not None:
+            fresh["max_ratio"] = entry["max_ratio"]
+        fresh_entries.append(fresh)
+        print(
+            f"baseline entry {fresh['mode']}/{fresh['experiment']}"
+            f"@{fresh['scale']} updated from {path}: "
+            f"cold {fresh['cold_s']:.2f}s"
+        )
+    with open(baseline_path, "w") as handle:
+        json.dump(
+            {"baselines": fresh_entries}, handle, indent=2, sort_keys=True
+        )
+        handle.write("\n")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -67,7 +172,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the baseline from the latest matching BENCH json",
+        help="rewrite the baseline from the latest matching BENCH jsons",
     )
     args = parser.parse_args(argv)
 
@@ -77,47 +182,12 @@ def main(argv=None) -> int:
             tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", ""))
         except ValueError:
             tolerance = 0.25
-    baseline = _load(args.baseline)
-    found = latest_bench(
-        baseline["mode"], baseline["experiment"], baseline["scale"]
-    )
-    if found is None:
-        print(
-            f"no BENCH_*.json in {OUTPUT_DIR} matching "
-            f"{baseline['mode']}/{baseline['experiment']}"
-            f"@{baseline['scale']}; run the speedup harness first"
-        )
-        return 2
-    path, record = found
+    entries = _entries(_load(args.baseline))
 
     if args.update:
-        fresh = {
-            "mode": record["mode"],
-            "experiment": record["experiment"],
-            "scale": record["scale"],
-            "cold_s": record["cold_s"],
-            "warm_s": record["warm_s"],
-            "source_stamp": record.get("stamp"),
-        }
-        with open(args.baseline, "w") as handle:
-            json.dump(fresh, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"baseline updated from {path}: cold {fresh['cold_s']:.2f}s")
-        return 0
+        return _update(entries, args.baseline)
 
-    cold = float(record["cold_s"])
-    budget = float(baseline["cold_s"]) * (1.0 + tolerance)
-    verdict = "OK" if cold <= budget else "REGRESSION"
-    print(
-        f"{baseline['experiment']}@{baseline['scale']} cold-store wall "
-        f"time: {cold:.2f}s vs baseline {baseline['cold_s']:.2f}s "
-        f"(budget {budget:.2f}s at +{tolerance:.0%}) -> {verdict}"
-    )
-    print(
-        f"  warm (ungated): {float(record['warm_s']):.2f}s "
-        f"(baseline {float(baseline['warm_s']):.2f}s), from {path}"
-    )
-    return 0 if verdict == "OK" else 1
+    return max(_check_entry(entry, tolerance) for entry in entries)
 
 
 if __name__ == "__main__":

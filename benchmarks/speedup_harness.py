@@ -10,6 +10,13 @@ session cache, cold imports):
 * **store** (``--store``) — a *cold* run of one experiment populating
   the on-disk artifact store, then a *warm* run in a new process served
   from it: the cross-process caching the store tier exists for.
+* **fig7-sweep** (``--fig7-sweep``) — the config-parallel sweep engine:
+  the full fig7 sampling grid in one cold grouped invocation (trace,
+  native columns, and STMS metadata classification shared per trace by
+  ``repro.sim.sweep``) against the same cells run as independent cold
+  per-cell invocations, each re-deriving everything.  Both legs are
+  wall-clock including interpreter startup — the per-cell leg *is* N
+  separate process launches; that symmetry is the point.
 
 Every invocation appends a human-readable line to
 ``benchmarks/output/speedup.txt`` **and** writes a machine-readable
@@ -22,6 +29,7 @@ Examples::
     python benchmarks/speedup_harness.py --experiment fig9
     python benchmarks/speedup_harness.py --suite   # every figure once
     python benchmarks/speedup_harness.py --store --experiment fig4
+    python benchmarks/speedup_harness.py --fig7-sweep --scale test
     python benchmarks/speedup_harness.py --experiment fig4 \
         --baseline-repo /path/to/seed/checkout
 """
@@ -68,6 +76,59 @@ for name in sorted(EXPERIMENTS):
     print("PER", name, time.perf_counter() - t1)
 print("ELAPSED", time.perf_counter() - t0)
 """ + _STATS_TAIL
+
+
+# The fig7-sweep mode builds its cell list from the experiment module
+# itself so the bench can never drift out of sync with the figure.
+_LIST_FIG7_CELLS = """
+import json
+from repro.experiments.fig7_traffic import SAMPLING_POINTS
+from repro.workloads.suite import FIGURE_ORDER
+print("CELLS " + json.dumps(
+    [[name, probability]
+     for name in FIGURE_ORDER
+     for probability in SAMPLING_POINTS]
+))
+"""
+
+# Grouped leg: the whole grid through the runner, whose grouping hands
+# same-trace jobs to repro.sim.sweep.run_sweep.  Job parameters mirror
+# repro.experiments.fig7_traffic.run defaults (cores=4, seed=7).
+_RUN_FIG7_GROUPED = """
+import time
+from repro.experiments.fig7_traffic import SAMPLING_POINTS
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
+from repro.workloads.suite import FIGURE_ORDER
+jobs = [
+    SimJob(
+        name, PrefetcherKind.STMS, scale={scale!r}, cores=4, seed=7,
+        stms_overrides=job_options(sampling_probability=probability),
+        tag=probability,
+    )
+    for name in FIGURE_ORDER
+    for probability in SAMPLING_POINTS
+]
+t0 = time.perf_counter()
+ExperimentRunner(max_workers=1, parallel=False).map(jobs)
+print("ELAPSED", time.perf_counter() - t0)
+""" + _STATS_TAIL
+
+# Per-cell leg: one fresh process per cell, nothing shared.
+_RUN_FIG7_CELL = """
+import time
+from repro.sim.runner import PrefetcherKind, SimJob, job_options, run_job
+t0 = time.perf_counter()
+run_job(SimJob(
+    {name!r}, PrefetcherKind.STMS, scale={scale!r}, cores=4, seed=7,
+    stms_overrides=job_options(sampling_probability={probability!r}),
+))
+print("ELAPSED", time.perf_counter() - t0)
+"""
 
 
 def _measure(
@@ -193,6 +254,110 @@ def _run_store_mode(args: argparse.Namespace, code: str, label: str) -> int:
     return 0
 
 
+def _measure_wall(
+    code: str, src: str, env_overrides: dict
+) -> "tuple[float, dict]":
+    """Like :func:`_measure`, but wall-clock including process startup."""
+    t0 = time.perf_counter()
+    _, _, stats = _measure(code, src, env_overrides)
+    return time.perf_counter() - t0, stats
+
+
+def _run_fig7_sweep(args: argparse.Namespace) -> int:
+    """Grouped sweep invocation vs independent per-cell invocations."""
+    src = os.path.join(ROOT, "src")
+    # Memory session only, cold in every process: the store would let
+    # the second leg ride on the first leg's results.  The grouped leg
+    # is this PR's path (sweep grouping + batched emitter); the
+    # per-cell leg pins the pre-sweep path (scalar emitter, grouping
+    # off) so the record captures the whole before/after.
+    grouped_env = {
+        "REPRO_SIM_CACHE": "1",
+        "REPRO_STORE_DIR": "",
+        "REPRO_JOBS": "1",
+        "REPRO_SWEEP": "on",
+        "REPRO_TRACE_EMITTER": "batched",
+    }
+    cell_env = {
+        "REPRO_SIM_CACHE": "1",
+        "REPRO_STORE_DIR": "",
+        "REPRO_JOBS": "1",
+        "REPRO_SWEEP": "off",
+        "REPRO_TRACE_EMITTER": "scalar",
+    }
+    probe_env = dict(os.environ)
+    probe_env["PYTHONPATH"] = src + (
+        os.pathsep + probe_env["PYTHONPATH"]
+        if probe_env.get("PYTHONPATH")
+        else ""
+    )
+    cells: "list[list]" = []
+    for line in subprocess.run(
+        [sys.executable, "-c", _LIST_FIG7_CELLS],
+        env=probe_env, capture_output=True, text=True, check=True,
+    ).stdout.splitlines():
+        if line.startswith("CELLS "):
+            cells = json.loads(line[len("CELLS "):])
+    if not cells:
+        raise RuntimeError("could not enumerate fig7 cells")
+
+    print(
+        f"fig7 sweep at scale={args.scale}: {len(cells)} per-cell "
+        f"invocations vs one grouped invocation ..."
+    )
+    # Baseline leg first, like seed-vs-new mode.
+    per_cell: "dict[str, float]" = {}
+    per_cell_total = 0.0
+    for name, probability in cells:
+        wall, _ = _measure_wall(
+            _RUN_FIG7_CELL.format(
+                name=name, scale=args.scale, probability=probability
+            ),
+            src,
+            cell_env,
+        )
+        per_cell[f"{name}@{probability}"] = wall
+        per_cell_total += wall
+    print(f"  per-cell (fresh process each): {per_cell_total:.1f}s total")
+    grouped, grouped_stats = _measure_wall(
+        _RUN_FIG7_GROUPED.format(scale=args.scale), src, grouped_env
+    )
+    print(
+        f"  grouped (one process, sweep engine): {grouped:.1f}s "
+        f"({grouped_stats.get('sweep_invocations', 0)} sweep "
+        f"invocations, {grouped_stats.get('sweep_cells', 0)} cells "
+        f"grouped, {grouped_stats.get('sweep_fallbacks', 0)} fallbacks)"
+    )
+    ratio = grouped / per_cell_total if per_cell_total > 0 else float("inf")
+    speedup = per_cell_total / grouped if grouped > 0 else float("inf")
+    print(
+        f"  grouped / per-cell ratio: {ratio:.2f} ({speedup:.2f}x faster)"
+    )
+
+    lines = [
+        f"fig7 sweep @ {args.scale}: per-cell {per_cell_total:.1f}s -> "
+        f"grouped {grouped:.1f}s (ratio {ratio:.2f}, "
+        f"{grouped_stats.get('sweep_cells', 0)} cells grouped, "
+        f"{grouped_stats.get('sweep_fallbacks', 0)} fallbacks)"
+    ]
+    _record(
+        lines,
+        {
+            "mode": "fig7-sweep",
+            "experiment": "fig7",
+            "scale": args.scale,
+            "cells": len(cells),
+            "cold_s": grouped,
+            "per_cell_s": per_cell_total,
+            "ratio": ratio,
+            "speedup": speedup,
+            "per_cell_walls": per_cell,
+            "grouped_stats": grouped_stats,
+        },
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--experiment", default="fig9")
@@ -215,7 +380,16 @@ def main(argv=None) -> int:
         help="store directory for --store (cleared before the cold "
         "run; default: benchmarks/output/store-bench)",
     )
+    parser.add_argument(
+        "--fig7-sweep", action="store_true",
+        help="measure the config-parallel sweep engine: the full fig7 "
+        "grid grouped in one cold invocation vs one cold invocation "
+        "per cell",
+    )
     args = parser.parse_args(argv)
+
+    if args.fig7_sweep:
+        return _run_fig7_sweep(args)
 
     if args.suite:
         code = _RUN_SUITE.format(scale=args.scale)

@@ -355,8 +355,16 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         ["total", _format_size(info["total_bytes"])],
         ["size cap", cap],
     ]
-    for name, value in sorted(info["counters"].items()):
+    counters = info["counters"]
+    for name, value in sorted(counters.items()):
         rows.append([name.replace("_", " "), str(value)])
+    # Grid-grouping effectiveness: average cells served per sweep
+    # invocation (versus per-cell fallbacks, reported above) makes
+    # silent de-vectorization of sweep grids visible.
+    invocations = counters.get("sweep_invocations", 0)
+    if invocations:
+        cells = counters.get("sweep_grouped_cells", 0)
+        rows.append(["cells per sweep", f"{cells / invocations:.1f}"])
     print(format_table(["field", "value"], rows, title="Artifact store"))
     return 0
 

@@ -33,6 +33,58 @@ from repro.memory.address import is_power_of_two
 _HASH_MULTIPLIER = 2654435761
 
 
+def stacked_metadata_columns(
+    blocks_arrays: "list[np.ndarray]",
+    geometries: "list[tuple[int, int | None]]",
+) -> "dict[tuple[int, int | None], tuple[list, list | None]]":
+    """Bucket/tag columns for *every* index geometry in one pass.
+
+    ``geometries`` lists ``(index_buckets, tag_bits)`` pairs — the two
+    parameters :meth:`IndexTable.bucket_of_array` and
+    :meth:`IndexTable.tag_of_array` depend on.  The hash product
+    (multiply + shift) is computed once per block column and masked
+    against a *config axis* of bucket masks in one broadcast, so
+    classifying a whole sweep grid's metadata costs one vectorized pass
+    over the trace instead of one per cell.  Each geometry's columns are
+    element-for-element what the per-cell methods produce (the sweep
+    differential tests pin this), in the native-list form the batched
+    engine consumes.
+    """
+    unique = [g for g in dict.fromkeys(geometries)]
+    out: "dict[tuple[int, int | None], tuple[list, list | None]]" = {}
+    if not unique:
+        return out
+    for buckets, _ in unique:
+        if not is_power_of_two(buckets):
+            raise ValueError(
+                f"buckets must be a power of two, got {buckets}"
+            )
+    masks = np.array([b - 1 for b, _ in unique], dtype=np.uint64)
+    bucket_columns: "list[list[list]]" = [[] for _ in unique]
+    blocks_i64 = [np.asarray(b, dtype=np.int64) for b in blocks_arrays]
+    for blocks in blocks_arrays:
+        products = np.asarray(blocks, dtype=np.uint64) * np.uint64(
+            _HASH_MULTIPLIER
+        )
+        shifted = products >> np.uint64(11)
+        # (configs, records): every geometry's bucket column at once.
+        stacked = (shifted[None, :] & masks[:, None]).astype(np.int64)
+        for row, column in zip(stacked, bucket_columns):
+            column.append(row.tolist())
+    tag_cache: "dict[int, list]" = {}
+    for index, (buckets, tag_bits) in enumerate(unique):
+        if tag_bits is None:
+            tags = None
+        elif tag_bits in tag_cache:
+            tags = tag_cache[tag_bits]
+        else:
+            tag_mask = np.int64((1 << tag_bits) - 1)
+            tags = [(b & tag_mask).tolist() for b in blocks_i64]
+            tag_cache[tag_bits] = tags
+        out[(buckets, tag_bits)] = (bucket_columns[index], tags)
+    return out
+
+
 @dataclass
 class IndexStats:
     """Index-table behaviour counters."""

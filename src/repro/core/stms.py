@@ -123,6 +123,16 @@ class StmsPrefetcher(TemporalPrefetcher):
     # Trigger path.
     # ------------------------------------------------------------------
 
+    def metadata_geometry(self) -> "tuple[int, int | None]":
+        """The index parameters :meth:`metadata_columns` depends on.
+
+        The sweep engine keys its shared, config-axis-stacked
+        bucket/tag columns by this pair: cells whose geometries match
+        reuse one precomputed classification instead of re-deriving it
+        per cell (see :mod:`repro.sim.sweep`).
+        """
+        return (self.config.index_buckets, self.config.tag_bits)
+
     def metadata_columns(
         self, blocks_arrays: "list"
     ) -> "tuple[list, list]":

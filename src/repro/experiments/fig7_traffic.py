@@ -6,6 +6,14 @@ once with every index update applied (100 % sampling) and once at the
 paper's 12.5 % operating point.  Paper shape: un-optimized index
 maintenance is the largest overhead, and probabilistic update collapses
 it roughly in proportion to the sampling probability.
+
+The workload x sampling grid is submitted to the runner as one job
+list per trace, so :class:`~repro.sim.runner.ExperimentRunner` groups
+each workload's sampling points into a single config-parallel sweep
+invocation (see ``repro.sim.sweep``): the trace is generated and its
+STMS metadata classified once, and only the config-dependent
+simulation state is carried per cell.  Results land under the same
+per-cell recipe keys as before, so stores warmed pre-sweep stay valid.
 """
 
 from __future__ import annotations

@@ -25,6 +25,14 @@ higher channel utilization than the base system while it wins
 coverage), per-workload attribution is conservative (component bytes
 sum to the global counters), and every component reports a positive
 finite slowdown-vs-alone.
+
+The (L2 capacity x DRAM bandwidth x prefetcher) sweep over each mix
+trace is grouped by :class:`~repro.sim.runner.ExperimentRunner` into
+config-parallel sweep invocations (``repro.sim.sweep``): every machine
+point over the same mix shares one trace generation and one stacked
+metadata-classification pass, with per-cell results cached under the
+unchanged recipe keys.  Solo references group the same way per solo
+trace.
 """
 
 from __future__ import annotations

@@ -112,7 +112,7 @@ class BatchRunState(_RunState):
 
     __slots__ = ('_blocks_l', '_work_l', '_dep_l', '_write_l', '_blocks_a', '_write_a', '_runs', '_event_keys', '_n_pending', '_t_l1_hit', '_t_victim', '_t_l2_dep', '_t_l2_indep', '_t_stride_dep', '_t_stride_indep', '_t_pf_dep', '_t_pf_indep', '_t_miss_overhead', '_miss_window', '_traffic_bytes', '_core_traffic', '_l2_ways', '_l1_ways', '_victim_capacity', '_mlp_accs', '_l1_sets_list', '_l1_set_mask', '_scratch_writebacks', '_stms_buckets', '_stms_tags')
 
-    def __init__(self, config, trace, temporal_factory):
+    def __init__(self, config, trace, temporal_factory, shared=None):
         super().__init__(config, trace, temporal_factory)
         self.hierarchy.log_l1_invalidations = True
         # Native-type columns: Python list indexing returns ready-made
@@ -160,7 +160,20 @@ class BatchRunState(_RunState):
         # calls.
         columns_hook = getattr(self.temporal, "metadata_columns", None)
         if columns_hook is not None:
-            buckets, tags = columns_hook(self._blocks_a)
+            # A sweep invocation (sim/sweep.py) hands in columns it
+            # classified once for every cell sharing this prefetcher's
+            # index geometry; the per-cell pass runs only when no shared
+            # precomputation covers it.
+            columns = None
+            if shared is not None:
+                geometry_hook = getattr(
+                    self.temporal, "metadata_geometry", None
+                )
+                if geometry_hook is not None:
+                    columns = shared.metadata_columns(geometry_hook())
+            if columns is None:
+                columns = columns_hook(self._blocks_a)
+            buckets, tags = columns
             self._stms_buckets = buckets
             self._stms_tags = self._blocks_l if tags is None else tags
         else:

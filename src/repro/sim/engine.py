@@ -93,8 +93,17 @@ class Simulator:
         trace: Trace,
         temporal_factory: "TemporalFactory | None" = None,
         label: str = "baseline",
+        shared: "object | None" = None,
     ) -> SimResult:
-        """Simulate ``trace``, optionally with a temporal prefetcher."""
+        """Simulate ``trace``, optionally with a temporal prefetcher.
+
+        ``shared`` is a sweep invocation's precomputation handle (see
+        :class:`repro.sim.sweep.SweepShared`): the batched engines pull
+        grid-shared metadata classifications from it instead of
+        re-deriving them per cell.  It is a pure compute shortcut —
+        results are bit-identical with or without it — and the scalar
+        reference engine ignores it.
+        """
         if trace.cores > self.config.cmp.cores:
             raise ValueError(
                 f"trace has {trace.cores} cores but the machine only "
@@ -109,7 +118,9 @@ class Simulator:
             state_class = (
                 TagBatchRunState if engine == "batch-tag" else BatchRunState
             )
-            state = state_class(self.config, trace, temporal_factory)
+            state = state_class(
+                self.config, trace, temporal_factory, shared=shared
+            )
         state.run_warmup()
         state.reset_accounting()
         state.run_measured()

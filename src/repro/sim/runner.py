@@ -46,6 +46,7 @@ from repro.sim.session import (
     trace_recipe_key,
 )
 from repro.sim.store import ArtifactStore, TraceRef, trace_digest
+from repro.sim.sweep import run_sweep, sweep_enabled
 from repro.workloads.suite import ScalePreset, get_scale
 from repro.workloads.trace import Trace
 
@@ -360,6 +361,23 @@ def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
     )
 
 
+def _run_group(
+    jobs: "list[SimJob]", session: "SimSession | None" = None
+) -> "list[SimResult]":
+    """Run jobs sharing one trace: a sweep invocation when it pays.
+
+    Two or more cells over one trace are pushed through the
+    config-parallel sweep engine (:mod:`repro.sim.sweep`) so the
+    config-independent precomputation — trace materialization and the
+    stacked STMS metadata classification — happens once for the whole
+    group.  A single job (or ``REPRO_SWEEP=off``) takes the plain
+    per-cell path; results are bit-identical either way.
+    """
+    if len(jobs) >= 2 and sweep_enabled():
+        return run_sweep(jobs, session)
+    return [run_job(job, session) for job in jobs]
+
+
 def _run_bundle(
     jobs: "list[SimJob]",
     store_root: "str | None" = None,
@@ -411,7 +429,7 @@ def _run_bundle(
             first.records_per_core,
             trace_ref,
         )
-    results = [run_job(job, session) for job in jobs]
+    results = _run_group(jobs, session)
     stats_delta = {
         f.name: getattr(session.stats, f.name) - getattr(before, f.name)
         for f in fields(SessionStats)
@@ -514,8 +532,14 @@ class ExperimentRunner:
         pending = [i for indices in groups.values() for i in indices]
         pending.sort()
         if not self.parallel or len(groups) < 2:
-            for i in pending:
-                results[i] = run_job(jobs[i], session)
+            # Serial path: each trace group becomes one sweep
+            # invocation (config-independent work shared across cells).
+            for indices in groups.values():
+                group_results = _run_group(
+                    [jobs[i] for i in indices], session
+                )
+                for i, result in zip(indices, group_results):
+                    results[i] = result
             return results  # type: ignore[return-value]
         store_root = store.root if store is not None else None
         stats_before = replace(session.stats)
@@ -564,8 +588,12 @@ class ExperimentRunner:
             # (adopted results stay: they are valid and make the serial
             # pass cheaper).
             session.stats = stats_before
-            for i in pending:
-                results[i] = run_job(jobs[i], session)
+            for indices in groups.values():
+                group_results = _run_group(
+                    [jobs[i] for i in indices], session
+                )
+                for i, result in zip(indices, group_results):
+                    results[i] = result
         return results  # type: ignore[return-value]
 
     @staticmethod

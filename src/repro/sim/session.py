@@ -69,6 +69,16 @@ class SessionStats:
     #: Whole job bundles the runner served from the store without
     #: spawning a worker (store-aware scheduling).
     bundle_skips: int = 0
+    #: Sweep invocations: grid-job groups the runner pushed through the
+    #: config-parallel engine (``sim/sweep.py``) as one shared pass.
+    sweep_invocations: int = 0
+    #: Grid cells simulated inside a sweep invocation on the shared
+    #: (config-parallel) path.
+    sweep_cells: int = 0
+    #: Grid cells a sweep invocation had to hand back to the per-cell
+    #: engine (scalar engine requested, or no vectorizable form) —
+    #: nonzero values flag silent de-vectorization.
+    sweep_fallbacks: int = 0
 
 
 def _freeze(value):
@@ -278,6 +288,7 @@ class SimSession:
         temporal_key,
         temporal_factory,
         label: str,
+        shared=None,
     ) -> SimResult:
         """Run (or reuse, from either tier) one simulation.
 
@@ -285,11 +296,15 @@ class SimSession:
         configuration that ``temporal_factory`` builds (the runner
         passes the prefetcher kind plus its full parameterization); two
         calls with equal keys must request equivalent simulations.
+
+        ``shared`` (a sweep invocation's precomputation handle) is a
+        compute shortcut only: it never enters the cache key because
+        results are bit-identical with or without it.
         """
         if not self.enabled:
             self.stats.sim_misses += 1
             return Simulator(sim_config).run(
-                trace, temporal_factory, label=label
+                trace, temporal_factory, label=label, shared=shared
             )
         key = self.result_key(trace, sim_config, temporal_key, label)
         cached = self.lookup_result(key)
@@ -297,7 +312,7 @@ class SimSession:
             return cached
         self.stats.sim_misses += 1
         result = Simulator(sim_config).run(
-            trace, temporal_factory, label=label
+            trace, temporal_factory, label=label, shared=shared
         )
         self._remember(key, result)
         if self.store is not None:

@@ -1,0 +1,194 @@
+"""Config-parallel sweep engine: one shared pass over a whole grid.
+
+Every sweep experiment (fig7's sampling sweep, the mix-contention
+L2 x DRAM grid, fig5's metadata sweeps) simulates many configurations of
+the *same trace*.  Run cell-by-cell, each cell re-derives work that does
+not depend on the configuration at all:
+
+* the trace itself (a cold generation costs ~2.5 s per recipe at bench
+  scale),
+* the native-typed trace columns the batched engine reads
+  (``_native_columns``),
+* the STMS metadata classification — every record's index bucket and
+  tag, a full vectorized pass per cell.
+
+:func:`run_sweep` hoists all of it.  A sweep invocation materializes the
+trace once, then classifies the metadata for *every distinct index
+geometry in the grid* in one stacked pass: the hash product is computed
+once per trace column and masked against a config axis of bucket masks
+(:func:`repro.core.index_table.stacked_metadata_columns`), so adding
+cells that share a geometry is free and adding a new geometry costs one
+cheap mask over the precomputed hash, not a new pass.  Each cell then
+runs through the existing batched engine with the shared columns
+injected (``BatchRunState`` pulls them from :class:`SweepShared` keyed
+by the prefetcher's ``metadata_geometry()``).
+
+What is *not* shared is the simulated machine state: the cells of a
+sweep observe genuinely different cache, stream-engine, and DRAM
+histories (a different sampling probability changes index contents,
+hence streams, hence timing), so per-cell dynamic state cannot be
+merged without changing results.  The shared pass therefore covers
+exactly the config-independent precomputation, and every cell remains
+bit-identical to the scalar reference engine — pinned by the sweep
+cases in ``tests/sim/test_engine_differential.py``.
+
+Fallback semantics: a cell the shared path cannot express — the scalar
+engine was requested, or the temporal prefetcher exposes no geometry —
+is handed back to :func:`repro.sim.runner.run_job` unchanged and
+counted in ``SessionStats.sweep_fallbacks``, so coverage is never
+silently reduced and de-vectorization is observable (``repro cache
+stats``).  Results land in the session/store under the existing
+per-cell keys: warm hits and single-cell fetches keep working
+unchanged.  ``REPRO_SWEEP=off`` disables grouping entirely.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.index_table import stacked_metadata_columns
+from repro.sim.engine import resolve_engine
+from repro.sim.metrics import SimResult
+from repro.sim.session import SimSession, _freeze, get_session
+from repro.workloads.trace import Trace
+
+
+def sweep_enabled() -> bool:
+    """Whether the runner groups grid jobs into sweep invocations."""
+    return os.environ.get("REPRO_SWEEP", "on") != "off"
+
+
+class SweepShared:
+    """Config-independent precomputation shared by one sweep invocation.
+
+    Holds the trace and the per-geometry metadata columns.  The batched
+    engine asks for columns via :meth:`metadata_columns` keyed by the
+    prefetcher's ``metadata_geometry()``; geometries registered up
+    front via :meth:`precompute` are classified together in one stacked
+    pass, and an unregistered geometry is computed (and cached) on
+    first request, so handing the object to any cell is always safe.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._blocks_arrays = [np.asarray(b) for b in trace.blocks]
+        self._columns: "dict[tuple, tuple[list, list | None]]" = {}
+
+    def precompute(self, geometries: "list[tuple]") -> None:
+        """Classify all missing geometries in one stacked pass."""
+        missing = [
+            g for g in dict.fromkeys(geometries) if g not in self._columns
+        ]
+        if missing:
+            self._columns.update(
+                stacked_metadata_columns(self._blocks_arrays, missing)
+            )
+
+    def metadata_columns(
+        self, geometry: "tuple"
+    ) -> "tuple[list, list | None]":
+        """Bucket/tag columns for one index geometry (cached)."""
+        columns = self._columns.get(geometry)
+        if columns is None:
+            self.precompute([geometry])
+            columns = self._columns[geometry]
+        return columns
+
+
+def run_sweep(
+    jobs: "list",
+    session: "SimSession | None" = None,
+) -> "list[SimResult]":
+    """Run a group of jobs sharing one trace as one sweep invocation.
+
+    All ``jobs`` must share a ``trace_key()`` (the runner groups them
+    before calling).  Cached cells are served from the session tiers
+    exactly as :func:`repro.sim.runner.run_job` would serve them; only
+    the cells that actually need simulating enter the shared pass, so a
+    warm grid costs no precomputation at all.
+    """
+    from repro.sim.runner import (
+        _job_configs,
+        job_result_key,
+        make_factory,
+        run_job,
+    )
+
+    if session is None:
+        session = get_session()
+    if not jobs:
+        return []
+    first = jobs[0]
+    trace = session.trace(
+        first.workload,
+        scale=first.scale,
+        cores=first.cores,
+        seed=first.seed,
+        records_per_core=first.records_per_core,
+    )
+    results: "list[SimResult | None]" = [None] * len(jobs)
+    # Cache probe first: a sweep invocation only precomputes for cells
+    # it will actually simulate.
+    pending: "list[int]" = []
+    for index, job in enumerate(jobs):
+        cached = session.lookup_result(job_result_key(job, trace))
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    plans = []
+    geometries = []
+    for index in pending:
+        job = jobs[index]
+        sim_config, stms_config = _job_configs(job, trace.cores)
+        vectorizable = resolve_engine(sim_config.engine) != "scalar"
+        if vectorizable and stms_config is not None:
+            geometries.append(
+                (stms_config.index_buckets, stms_config.tag_bits)
+            )
+        plans.append((index, job, sim_config, stms_config, vectorizable))
+
+    shared = SweepShared(trace)
+    shared.precompute(geometries)
+
+    cells = 0
+    fallbacks = 0
+    for index, job, sim_config, stms_config, vectorizable in plans:
+        if not vectorizable:
+            # Scalar engine requested: per-cell reference path, never
+            # silently skipped.
+            results[index] = run_job(job, session)
+            fallbacks += 1
+            continue
+        factory_options = dict(job.factory_options)
+        factory = make_factory(job.kind, stms_config, **factory_options)
+        temporal_key = (
+            job.kind.value,
+            _freeze(stms_config),
+            tuple(sorted(factory_options.items())),
+        )
+        results[index] = session.simulate(
+            trace,
+            sim_config,
+            temporal_key,
+            factory,
+            label=job.kind.value,
+            shared=shared,
+        )
+        cells += 1
+
+    session.stats.sweep_invocations += 1
+    session.stats.sweep_cells += cells
+    session.stats.sweep_fallbacks += fallbacks
+    if session.store is not None:
+        session.store.bump_counter("sweep_invocations", 1)
+        if cells:
+            session.store.bump_counter("sweep_grouped_cells", cells)
+        if fallbacks:
+            session.store.bump_counter("sweep_fallbacks", fallbacks)
+    return results  # type: ignore[return-value]

@@ -23,6 +23,7 @@ from repro.workloads.base import (
     GeneratorContext,
     StreamPool,
     TraceGenerator,
+    emitter_mode,
 )
 from repro.workloads.trace import Trace, TraceBuilder
 
@@ -115,12 +116,13 @@ class DssGenerator(TraceGenerator):
         cdf /= cdf[-1]
         activity_cdf = cdf.tolist()
         builders = [TraceBuilder() for _ in range(cores)]
+        batched = emitter_mode() == "batched"
 
         for builder in builders:
             while len(builder) < records_per_core:
                 activity = bisect_right(activity_cdf, rng_random())
                 if activity == ACTIVITY_STREAM:
-                    self._emit_traversal(builder, pool, context)
+                    self._emit_traversal(builder, pool, context, batched)
                 elif activity == ACTIVITY_SCAN:
                     run = context.next_scan_run(params.scan_run)
                     builder.extend(
@@ -130,12 +132,21 @@ class DssGenerator(TraceGenerator):
                         write=False,
                     )
                 elif activity == ACTIVITY_NOISE:
-                    builder.add(
-                        context.next_noise(),
-                        work=self._work_cycles(rng, params.work_cycles),
-                        dep=rng.random() < params.noise_dep_p,
-                        write=rng.random() < params.write_p,
-                    )
+                    if batched:
+                        w, d, wr = rng.random(3).tolist()
+                        builder.add(
+                            context.next_noise(),
+                            work=params.work_cycles * (0.5 + w),
+                            dep=d < params.noise_dep_p,
+                            write=wr < params.write_p,
+                        )
+                    else:
+                        builder.add(
+                            context.next_noise(),
+                            work=self._work_cycles(rng, params.work_cycles),
+                            dep=rng.random() < params.noise_dep_p,
+                            write=rng.random() < params.write_p,
+                        )
                 else:
                     for _ in range(params.hot_run):
                         builder.add(
@@ -159,9 +170,13 @@ class DssGenerator(TraceGenerator):
         builder: TraceBuilder,
         pool: StreamPool,
         context: GeneratorContext,
+        batched: bool = True,
     ) -> None:
         # TraceBuilder.add and _work_cycles inlined; the field draw
-        # order matches the unrolled calls exactly.
+        # order matches the unrolled calls exactly.  The batched path
+        # pre-draws each block's four uniforms (work, dep, write,
+        # truncate gate) in one call — the exact per-record budget, so
+        # the RNG stream matches the scalar loop bit-for-bit.
         params = self.params
         rng_random = context.rng.random
         work_mean = params.work_cycles
@@ -172,6 +187,16 @@ class DssGenerator(TraceGenerator):
         work = builder._work
         dep = builder._dep
         write = builder._write
+        if batched:
+            for block in pool.pick():
+                w, d, wr, t = rng_random(4).tolist()
+                blocks.append(int(block))
+                work.append(work_mean * (0.5 + w))
+                dep.append(d < stream_dep_p)
+                write.append(wr < write_p)
+                if t < truncate_p:
+                    break
+            return
         for block in pool.pick():
             blocks.append(int(block))
             work.append(work_mean * (0.5 + rng_random()))

@@ -221,9 +221,12 @@ def _random_prefetcher(rng: np.random.Generator, cores: int):
     return kind, make_factory(kind)
 
 
-def _run_and_snapshot(state_class, config, trace, factory):
+def _run_and_snapshot(state_class, config, trace, factory, shared=None):
     """Drive one engine through both phases; snapshot before result()."""
-    state = state_class(config, trace, factory)
+    if shared is None:
+        state = state_class(config, trace, factory)
+    else:
+        state = state_class(config, trace, factory, shared=shared)
     state.run_warmup()
     warm = snapshot_run_state(state)
     state.reset_accounting()
@@ -309,6 +312,103 @@ def test_differential_asymmetric(seed):
 @pytest.mark.parametrize("seed", SLOW_SEEDS)
 def test_differential_nightly(seed):
     _check_seed(seed, include_tag_engine=True, allow_asymmetric=True)
+
+
+# ----------------------------------------------------------------------
+# Sweep-shaped cases: one trace x a small random config grid through the
+# config-parallel path (sim/sweep.py shares the metadata classification
+# across the grid), asserting every cell stays deep-state-identical to
+# both the scalar reference and the plain batched engine.
+# ----------------------------------------------------------------------
+
+
+def _random_grid_stms(rng: np.random.Generator, cores: int) -> StmsConfig:
+    """One grid cell's STMS config (geometries deliberately collide
+    across cells sometimes, so the shared stacked pass serves both the
+    same-geometry and new-geometry lookups)."""
+    queue = int(rng.choice([4, 8, 24]))
+    return StmsConfig(
+        cores=cores,
+        history_entries=int(rng.choice([24, 48, 192])),
+        index_buckets=int(rng.choice([16, 64])),
+        bucket_entries=int(rng.choice([2, 4, 12])),
+        sampling_probability=float(rng.choice([0.0, 0.125, 0.5, 1.0])),
+        bucket_buffer_entries=int(rng.choice([2, 8, 32])),
+        prefetch_buffer_blocks=int(rng.choice([4, 8, 32])),
+        lookahead=int(rng.choice([2, 6, 12])),
+        address_queue_entries=queue,
+        queue_refill_threshold=int(rng.integers(0, queue + 1)),
+        tag_bits=[None, 8, 12][int(rng.integers(0, 3))],
+        annotate_stream_ends=bool(rng.random() < 0.8),
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def _check_sweep_seed(seed: int, grid_size: int = 3) -> None:
+    from repro.sim.sweep import SweepShared
+
+    rng = np.random.default_rng(seed)
+    cores = int(rng.integers(1, 5))
+    if rng.random() < 0.25:
+        trace = _mix_trace(rng, cores)
+    else:
+        trace = _random_trace(rng, cores)
+    config = _random_machine(rng, cores)
+    cells = [_random_grid_stms(rng, cores) for _ in range(grid_size)]
+
+    # One shared precomputation for the whole grid, exactly as
+    # run_sweep builds it.
+    shared = SweepShared(trace)
+    shared.precompute(
+        [(cell.index_buckets, cell.tag_bits) for cell in cells]
+    )
+
+    for position, cell in enumerate(cells):
+        factory = make_factory(PrefetcherKind.STMS, cell)
+        reference = _run_and_snapshot(_RunState, config, trace, factory)
+        batched = _run_and_snapshot(BatchRunState, config, trace, factory)
+        swept = _run_and_snapshot(
+            BatchRunState, config, trace, factory, shared=shared
+        )
+        for phase, index in (("warmup", 0), ("final", 1)):
+            assert swept[index] == reference[index], (
+                f"seed {seed} cell {position}: config-parallel path "
+                f"diverged from scalar reference at {phase} snapshot"
+            )
+            assert swept[index] == batched[index], (
+                f"seed {seed} cell {position}: config-parallel path "
+                f"diverged from the batched engine at {phase} snapshot"
+            )
+        assert swept[2].traffic == reference[2].traffic
+        assert swept[2].elapsed_cycles == reference[2].elapsed_cycles
+        assert dataclasses.astuple(swept[2].coverage) == (
+            dataclasses.astuple(reference[2].coverage)
+        )
+        assert swept[2].core_traffic_bytes == (
+            reference[2].core_traffic_bytes
+        )
+
+
+#: Pinned fast sweep-shaped seeds (tier-1).
+SWEEP_FAST_SEEDS = (211, 212, 213)
+
+
+@pytest.mark.parametrize("seed", SWEEP_FAST_SEEDS)
+def test_differential_sweep(seed):
+    _check_sweep_seed(seed)
+
+
+#: Nightly sweep-shaped window: rides the same rotating base as the
+#: engine window, offset so the two never overlap.
+SWEEP_SLOW_SEEDS = tuple(
+    range(_slow_seed_base() + 1_000_000, _slow_seed_base() + 1_000_012)
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SWEEP_SLOW_SEEDS)
+def test_differential_sweep_nightly(seed):
+    _check_sweep_seed(seed, grid_size=4)
 
 
 def test_snapshot_captures_stms_metadata():
