@@ -15,10 +15,11 @@ located and two checks run:
   the absolute wall-time gate.  Warm time is reported but not gated
   (dominated by process startup and disk cache noise at CI scale).
 * if the entry carries ``max_ratio``, the record's own
-  ``cold_s / per_cell_s`` must not exceed it — the fig7-sweep entry
-  uses this to pin the grouped-vs-per-cell bound (0.5x) directly, so
-  the sweep win is enforced relative to the *same run's* per-cell
-  cost, immune to runner speed.
+  ``cold_s / per_cell_s`` (fig7-sweep) or ``cold_s / serial_s``
+  (fig7-par) must not exceed it — the win is enforced relative to the
+  *same run's* baseline leg, immune to runner speed.  A fig7-par
+  record stamped with ``cpus`` < 2 reports the ratio but skips the
+  gate: a parallel-vs-serial bound cannot hold without concurrency.
 
 Refreshing the baseline after an intentional performance change::
 
@@ -104,11 +105,27 @@ def _check_entry(entry: dict, tolerance: float) -> int:
     rc = 0 if verdict == "OK" else 1
 
     max_ratio = entry.get("max_ratio")
-    if max_ratio is not None and record.get("per_cell_s"):
-        ratio = cold / float(record["per_cell_s"])
+    denominator = record.get("per_cell_s") or record.get("serial_s")
+    if max_ratio is not None and denominator:
+        label = (
+            "grouped/per-cell" if record.get("per_cell_s")
+            else "parallel/serial"
+        )
+        ratio = cold / float(denominator)
+        cpus = record.get("cpus")
+        if cpus is not None and int(cpus) < 2:
+            # A parallel-vs-serial bound is meaningless on one CPU —
+            # the parallel leg pays fork + attach overhead with no
+            # concurrency to buy it back.  Report, don't gate.
+            print(
+                f"  {label} ratio: {ratio:.2f} (bound "
+                f"{float(max_ratio):.2f} NOT gated: record ran on "
+                f"{cpus} cpu)"
+            )
+            return rc
         ratio_verdict = "OK" if ratio <= float(max_ratio) else "REGRESSION"
         print(
-            f"  grouped/per-cell ratio: {ratio:.2f} "
+            f"  {label} ratio: {ratio:.2f} "
             f"(bound {float(max_ratio):.2f}) -> {ratio_verdict}"
         )
         if ratio_verdict != "OK":
@@ -143,6 +160,10 @@ def _update(entries: "list[dict]", baseline_path: str) -> int:
             fresh["warm_s"] = record["warm_s"]
         if record.get("per_cell_s") is not None:
             fresh["per_cell_s"] = record["per_cell_s"]
+        if record.get("serial_s") is not None:
+            fresh["serial_s"] = record["serial_s"]
+        if record.get("cpus") is not None:
+            fresh["cpus"] = record["cpus"]
         if entry.get("max_ratio") is not None:
             fresh["max_ratio"] = entry["max_ratio"]
         fresh_entries.append(fresh)

@@ -17,6 +17,14 @@ session cache, cold imports):
   per-cell invocations, each re-deriving everything.  Both legs are
   wall-clock including interpreter startup — the per-cell leg *is* N
   separate process launches; that symmetry is the point.
+* **fig7-par** (``--fig7-par``) — the two-level scheduler + shared-
+  memory trace plane: one workload's whole sampling ladder (a single
+  trace group, the worst case for level-1 scheduling) cold through the
+  serial grouped path, then cold again through a two-worker runner
+  that splits the group into cell shards attached over ``repro.sim.shm``.
+  Records ``cpus`` alongside the ratio: on a single-CPU machine the
+  parallel leg cannot win and the ratio gate is informational only
+  (``check_bench`` skips it there).
 
 Every invocation appends a human-readable line to
 ``benchmarks/output/speedup.txt`` **and** writes a machine-readable
@@ -117,6 +125,40 @@ t0 = time.perf_counter()
 ExperimentRunner(max_workers=1, parallel=False).map(jobs)
 print("ELAPSED", time.perf_counter() - t0)
 """ + _STATS_TAIL
+
+# fig7-par legs: one workload's sampling ladder is a single trace
+# group, so the serial leg is one sweep invocation and the parallel leg
+# exercises level-2 cell sharding + the shm trace plane.  The ladder
+# extends the figure's sampling axis to four points so the group is
+# actually splittable at test scale.
+_FIG7_PAR_LADDER = (1.0, 0.5, 0.25, 0.125)
+
+_LIST_FIG7_WORKLOAD = """
+from repro.workloads.suite import FIGURE_ORDER
+print("WORKLOAD " + FIGURE_ORDER[0])
+"""
+
+_RUN_FIG7_PAR = """
+import time
+from repro.sim.runner import (
+    ExperimentRunner,
+    PrefetcherKind,
+    SimJob,
+    job_options,
+)
+jobs = [
+    SimJob(
+        {name!r}, PrefetcherKind.STMS, scale={scale!r}, cores=4, seed=7,
+        stms_overrides=job_options(sampling_probability=probability),
+        tag=probability,
+    )
+    for probability in {ladder!r}
+]
+t0 = time.perf_counter()
+ExperimentRunner(max_workers={workers}, parallel={parallel}).map(jobs)
+print("ELAPSED", time.perf_counter() - t0)
+""" + _STATS_TAIL
+
 
 # Per-cell leg: one fresh process per cell, nothing shared.
 _RUN_FIG7_CELL = """
@@ -358,6 +400,93 @@ def _run_fig7_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fig7_par(args: argparse.Namespace) -> int:
+    """Serial grouped sweep vs two-worker cell-parallel shm plane."""
+    src = os.path.join(ROOT, "src")
+    # Memory session only, cold in both processes; the sweep engine and
+    # batched emitter are pinned on for BOTH legs so the only variable
+    # is the scheduler (serial grouped vs cell shards over the plane).
+    serial_env = {
+        "REPRO_SIM_CACHE": "1",
+        "REPRO_STORE_DIR": "",
+        "REPRO_SWEEP": "on",
+        "REPRO_TRACE_EMITTER": "batched",
+        "REPRO_SHM": "on",
+    }
+    probe_env = dict(os.environ)
+    probe_env["PYTHONPATH"] = src + (
+        os.pathsep + probe_env["PYTHONPATH"]
+        if probe_env.get("PYTHONPATH")
+        else ""
+    )
+    workload = None
+    for line in subprocess.run(
+        [sys.executable, "-c", _LIST_FIG7_WORKLOAD],
+        env=probe_env, capture_output=True, text=True, check=True,
+    ).stdout.splitlines():
+        if line.startswith("WORKLOAD "):
+            workload = line[len("WORKLOAD "):].strip()
+    if not workload:
+        raise RuntimeError("could not resolve the fig7-par workload")
+    cpus = os.cpu_count() or 1
+
+    print(
+        f"fig7 parallel plane at scale={args.scale}: {workload} x "
+        f"{len(_FIG7_PAR_LADDER)} sampling cells, one trace group, "
+        f"{cpus} cpus ..."
+    )
+    serial, serial_stats = _measure_wall(
+        _RUN_FIG7_PAR.format(
+            name=workload, scale=args.scale, ladder=_FIG7_PAR_LADDER,
+            workers=1, parallel=False,
+        ),
+        src,
+        serial_env,
+    )
+    print(f"  serial grouped (one sweep invocation): {serial:.1f}s")
+    parallel, parallel_stats = _measure_wall(
+        _RUN_FIG7_PAR.format(
+            name=workload, scale=args.scale, ladder=_FIG7_PAR_LADDER,
+            workers=2, parallel=True,
+        ),
+        src,
+        serial_env,
+    )
+    print(
+        f"  2-worker cell shards (shm plane): {parallel:.1f}s "
+        f"({parallel_stats.get('shm_exports', 0)} segments exported, "
+        f"{parallel_stats.get('shm_attaches', 0)} attaches, "
+        f"{parallel_stats.get('shm_bytes_zero_copy', 0)} bytes "
+        f"zero-copy)"
+    )
+    ratio = parallel / serial if serial > 0 else float("inf")
+    note = "" if cpus >= 2 else " (1 cpu: informational only)"
+    print(f"  parallel / serial ratio: {ratio:.2f}{note}")
+
+    lines = [
+        f"fig7 par @ {args.scale}: serial {serial:.1f}s -> 2-worker "
+        f"{parallel:.1f}s (ratio {ratio:.2f}, {cpus} cpus, "
+        f"{parallel_stats.get('shm_attaches', 0)} shm attaches)"
+    ]
+    _record(
+        lines,
+        {
+            "mode": "fig7-par",
+            "experiment": "fig7",
+            "scale": args.scale,
+            "workload": workload,
+            "cells": len(_FIG7_PAR_LADDER),
+            "cpus": cpus,
+            "cold_s": parallel,
+            "serial_s": serial,
+            "ratio": ratio,
+            "serial_stats": serial_stats,
+            "parallel_stats": parallel_stats,
+        },
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--experiment", default="fig9")
@@ -386,10 +515,19 @@ def main(argv=None) -> int:
         "grid grouped in one cold invocation vs one cold invocation "
         "per cell",
     )
+    parser.add_argument(
+        "--fig7-par", action="store_true",
+        help="measure the two-level scheduler + shm trace plane: one "
+        "workload's sampling ladder serial-grouped vs split across two "
+        "workers attaching the trace over shared memory",
+    )
     args = parser.parse_args(argv)
 
     if args.fig7_sweep:
         return _run_fig7_sweep(args)
+
+    if args.fig7_par:
+        return _run_fig7_par(args)
 
     if args.suite:
         code = _RUN_SUITE.format(scale=args.scale)

@@ -365,6 +365,18 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     if invocations:
         cells = counters.get("sweep_grouped_cells", 0)
         rows.append(["cells per sweep", f"{cells / invocations:.1f}"])
+    # Data-plane effectiveness: how much of the bytes shipped to pool
+    # workers travelled as zero-copy shared-memory views versus the
+    # pickle/npz fallback path.
+    zero_copy = counters.get("shm_bytes_zero_copy", 0)
+    pickled = counters.get("shm_bytes_pickled", 0)
+    if zero_copy or pickled:
+        rows.append([
+            "shm zero-copy share",
+            f"{zero_copy / (zero_copy + pickled):.0%} "
+            f"({_format_size(zero_copy)} shm vs "
+            f"{_format_size(pickled)} pickled)",
+        ])
     print(format_table(["field", "value"], rows, title="Artifact store"))
     return 0
 
@@ -426,7 +438,8 @@ def cmd_cache_warm(args: argparse.Namespace) -> int:
         f"{stats.sim_misses} simulated, {stats.sim_hits} memory hits, "
         f"{stats.sim_store_hits} store hits "
         f"({stats.trace_store_hits} trace store hits, "
-        f"{stats.bundle_skips} bundles skipped)"
+        f"{stats.bundle_skips} bundles skipped, "
+        f"{stats.shm_attaches} shm attaches)"
     )
     if store is not None:
         print(

@@ -33,11 +33,11 @@ from repro.memory.address import is_power_of_two
 _HASH_MULTIPLIER = 2654435761
 
 
-def stacked_metadata_columns(
+def stacked_metadata_arrays(
     blocks_arrays: "list[np.ndarray]",
     geometries: "list[tuple[int, int | None]]",
 ) -> "dict[tuple[int, int | None], tuple[list, list | None]]":
-    """Bucket/tag columns for *every* index geometry in one pass.
+    """Bucket/tag *arrays* for every index geometry in one pass.
 
     ``geometries`` lists ``(index_buckets, tag_bits)`` pairs — the two
     parameters :meth:`IndexTable.bucket_of_array` and
@@ -45,10 +45,11 @@ def stacked_metadata_columns(
     (multiply + shift) is computed once per block column and masked
     against a *config axis* of bucket masks in one broadcast, so
     classifying a whole sweep grid's metadata costs one vectorized pass
-    over the trace instead of one per cell.  Each geometry's columns are
-    element-for-element what the per-cell methods produce (the sweep
-    differential tests pin this), in the native-list form the batched
-    engine consumes.
+    over the trace instead of one per cell.  Values are ``int64``
+    per-core NumPy arrays (geometries sharing ``tag_bits`` share the
+    *same* tag array objects); :func:`stacked_metadata_columns` wraps
+    this with the native-list conversion the batched engine consumes,
+    and the shared-memory trace plane exports the arrays directly.
     """
     unique = [g for g in dict.fromkeys(geometries)]
     out: "dict[tuple[int, int | None], tuple[list, list | None]]" = {}
@@ -60,7 +61,7 @@ def stacked_metadata_columns(
                 f"buckets must be a power of two, got {buckets}"
             )
     masks = np.array([b - 1 for b, _ in unique], dtype=np.uint64)
-    bucket_columns: "list[list[list]]" = [[] for _ in unique]
+    bucket_columns: "list[list[np.ndarray]]" = [[] for _ in unique]
     blocks_i64 = [np.asarray(b, dtype=np.int64) for b in blocks_arrays]
     for blocks in blocks_arrays:
         products = np.asarray(blocks, dtype=np.uint64) * np.uint64(
@@ -70,8 +71,8 @@ def stacked_metadata_columns(
         # (configs, records): every geometry's bucket column at once.
         stacked = (shifted[None, :] & masks[:, None]).astype(np.int64)
         for row, column in zip(stacked, bucket_columns):
-            column.append(row.tolist())
-    tag_cache: "dict[int, list]" = {}
+            column.append(row)
+    tag_cache: "dict[int, list[np.ndarray]]" = {}
     for index, (buckets, tag_bits) in enumerate(unique):
         if tag_bits is None:
             tags = None
@@ -79,9 +80,41 @@ def stacked_metadata_columns(
             tags = tag_cache[tag_bits]
         else:
             tag_mask = np.int64((1 << tag_bits) - 1)
-            tags = [(b & tag_mask).tolist() for b in blocks_i64]
+            tags = [b & tag_mask for b in blocks_i64]
             tag_cache[tag_bits] = tags
         out[(buckets, tag_bits)] = (bucket_columns[index], tags)
+    return out
+
+
+def stacked_metadata_columns(
+    blocks_arrays: "list[np.ndarray]",
+    geometries: "list[tuple[int, int | None]]",
+) -> "dict[tuple[int, int | None], tuple[list, list | None]]":
+    """Bucket/tag columns for *every* index geometry in one pass.
+
+    The native-list form of :func:`stacked_metadata_arrays` — each
+    geometry's columns are element-for-element what the per-cell
+    :meth:`IndexTable.bucket_of_array` / :meth:`IndexTable.tag_of_array`
+    produce (the sweep differential tests pin this), in the list form
+    the batched engine consumes.
+    """
+    arrays = stacked_metadata_arrays(blocks_arrays, geometries)
+    out: "dict[tuple[int, int | None], tuple[list, list | None]]" = {}
+    # Geometries sharing tag_bits share tag array objects; convert each
+    # distinct array list once.
+    converted: "dict[int, list]" = {}
+
+    def _tolist(columns: "list[np.ndarray]") -> list:
+        key = id(columns)
+        if key not in converted:
+            converted[key] = [c.tolist() for c in columns]
+        return converted[key]
+
+    for geometry, (buckets, tags) in arrays.items():
+        out[geometry] = (
+            _tolist(buckets),
+            None if tags is None else _tolist(tags),
+        )
     return out
 
 

@@ -9,10 +9,14 @@ Three layers sit above the engine:
   so repeated simulations are free.
 * :class:`SimJob` — a picklable description of one simulation over the
   (workload x config x prefetcher) grid.
-* :class:`ExperimentRunner` — maps job lists onto a process pool
-  (grouped by trace so each worker generates a trace once), falling
-  back to in-process execution on single-CPU machines or when the
-  platform refuses subprocesses.
+* :class:`ExperimentRunner` — maps job lists onto a process pool with
+  a two-level decomposition: trace groups first (each worker acquires
+  a trace once), then strided *cell* shards of the larger groups when
+  workers would otherwise idle — split groups travel over the
+  zero-copy shared-memory trace plane (:mod:`repro.sim.shm`) instead
+  of being re-read or re-derived per worker.  Falls back to in-process
+  execution on single-CPU machines or when the platform refuses
+  subprocesses.
 
 >>> from repro.sim import run_workload, PrefetcherKind
 >>> result = run_workload("web-apache", PrefetcherKind.STMS, scale="test")
@@ -24,12 +28,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.config import StmsConfig
+from repro.core.index_table import stacked_metadata_arrays
 from repro.core.stms import StmsPrefetcher
 from repro.memory.dram import DramConfig
 from repro.memory.hierarchy import CmpConfig
@@ -45,8 +53,15 @@ from repro.sim.session import (
     get_session,
     trace_recipe_key,
 )
+from repro.sim.shm import TracePayload, TracePlane, shm_enabled
+from repro.sim.shm import attach as shm_attach
 from repro.sim.store import ArtifactStore, TraceRef, trace_digest
-from repro.sim.sweep import run_sweep, sweep_enabled
+from repro.sim.sweep import (
+    SweepShared,
+    job_geometries,
+    run_sweep,
+    sweep_enabled,
+)
 from repro.workloads.suite import ScalePreset, get_scale
 from repro.workloads.trace import Trace
 
@@ -362,7 +377,9 @@ def run_job(job: SimJob, session: "SimSession | None" = None) -> SimResult:
 
 
 def _run_group(
-    jobs: "list[SimJob]", session: "SimSession | None" = None
+    jobs: "list[SimJob]",
+    session: "SimSession | None" = None,
+    preshared: "SweepShared | None" = None,
 ) -> "list[SimResult]":
     """Run jobs sharing one trace: a sweep invocation when it pays.
 
@@ -372,9 +389,13 @@ def _run_group(
     stacked STMS metadata classification — happens once for the whole
     group.  A single job (or ``REPRO_SWEEP=off``) takes the plain
     per-cell path; results are bit-identical either way.
+
+    ``preshared`` is a shard's shared-memory-attached precomputation
+    (trace + adopted metadata columns): even a single-cell shard routes
+    through the sweep engine then, so nothing attached is re-derived.
     """
-    if len(jobs) >= 2 and sweep_enabled():
-        return run_sweep(jobs, session)
+    if sweep_enabled() and (len(jobs) >= 2 or preshared is not None):
+        return run_sweep(jobs, session, shared=preshared)
     return [run_job(job, session) for job in jobs]
 
 
@@ -383,6 +404,7 @@ def _run_bundle(
     store_root: "str | None" = None,
     trace_ref: "TraceRef | None" = None,
     enabled: bool = True,
+    plane_payload: "TracePayload | None" = None,
 ) -> "tuple[list[SimResult], dict, dict]":
     """Worker entry point: run a bundle of jobs sharing one trace.
 
@@ -394,6 +416,15 @@ def _run_bundle(
     shared baselines) plus a :class:`~repro.sim.store.TraceRef` — hash
     and path of the bundle's trace — which seeds the session directly
     when the file exists.
+
+    ``plane_payload`` (set for the cell shards of a split trace group)
+    points at the parent's shared-memory trace plane
+    (:mod:`repro.sim.shm`): this worker attaches the segment read-only,
+    adopts the zero-copy trace into its session, and seeds a
+    :class:`~repro.sim.sweep.SweepShared` with the parent-classified
+    metadata columns — no npz re-read, no re-generation, no
+    re-classification per shard.  A failed attach (or a disabled
+    session) falls back to the TraceRef path.
 
     Besides the ordered results, the worker ships back its session's
     result-cache entries (so the parent can adopt them — without this,
@@ -419,7 +450,25 @@ def _run_bundle(
             except OSError:
                 pass
     before = replace(session.stats)
-    if trace_ref is not None and jobs:
+    preshared = None
+    if plane_payload is not None and enabled and jobs:
+        attached = shm_attach(plane_payload)
+        if attached is not None:
+            shm_trace, metadata_arrays = attached
+            first = jobs[0]
+            session.adopt_shm_trace(
+                first.workload,
+                first.scale,
+                first.cores,
+                first.seed,
+                first.records_per_core,
+                shm_trace,
+                plane_payload.total_bytes,
+            )
+            preshared = SweepShared(shm_trace)
+            if metadata_arrays:
+                preshared.adopt_arrays(metadata_arrays)
+    if preshared is None and trace_ref is not None and jobs:
         first = jobs[0]
         session.prime_trace(
             first.workload,
@@ -429,7 +478,7 @@ def _run_bundle(
             first.records_per_core,
             trace_ref,
         )
-    results = _run_group(jobs, session)
+    results = _run_group(jobs, session, preshared)
     stats_delta = {
         f.name: getattr(session.stats, f.name) - getattr(before, f.name)
         for f in fields(SessionStats)
@@ -437,29 +486,123 @@ def _run_bundle(
     return results, session.export_results(), stats_delta
 
 
+#: One warning per process for a malformed REPRO_JOBS value.
+_JOBS_WARNING_EMITTED = False
+
+
 def _default_workers() -> "tuple[int, bool]":
-    """(max_workers, parallel) from REPRO_JOBS or the CPU count."""
+    """(max_workers, parallel) from REPRO_JOBS or the CPU count.
+
+    A malformed or non-positive ``REPRO_JOBS`` used to degrade to one
+    worker silently; it now warns once per process so a typo'd
+    environment can't quietly serialize a fleet.
+    """
+    global _JOBS_WARNING_EMITTED
     env = os.environ.get("REPRO_JOBS")
     if env is not None:
         try:
             workers = int(env)
         except ValueError:
-            workers = 1
-        return max(1, workers), workers > 1
+            workers = 0
+        if workers < 1:
+            if not _JOBS_WARNING_EMITTED:
+                _JOBS_WARNING_EMITTED = True
+                warnings.warn(
+                    f"invalid REPRO_JOBS={env!r} (expected a positive "
+                    "integer); running with 1 worker",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return 1, False
+        return workers, workers > 1
     cpus = os.cpu_count() or 1
     return cpus, cpus > 1
 
 
-class ExperimentRunner:
-    """Maps simulation jobs over worker processes.
+def _shard_min_cells() -> int:
+    """Smallest pending-cell count at which a trace group may be split.
 
-    Jobs are grouped by trace recipe so each worker generates every
+    ``REPRO_SHARD_MIN_CELLS`` (default 2, floor 2) raises the level-2
+    threshold for grids whose per-cell cost is too small to amortize a
+    shard's attach overhead; malformed values keep the default.
+    """
+    env = os.environ.get("REPRO_SHARD_MIN_CELLS")
+    if env is None:
+        return 2
+    try:
+        value = int(env)
+    except ValueError:
+        return 2
+    return max(2, value)
+
+
+def _ref_bytes(ref: "TraceRef | None") -> int:
+    """On-disk size of a shipped TraceRef (0 when absent/unreadable).
+
+    This is what a worker re-reads on the pickle/npz fallback path —
+    the denominator of the zero-copy-vs-pickled contrast in
+    ``cache stats``.
+    """
+    if ref is None:
+        return 0
+    try:
+        return os.stat(ref.path).st_size
+    except OSError:
+        return 0
+
+
+def _shard_groups(
+    groups: "dict[tuple, list[int]]",
+    workers: int,
+    min_cells: int,
+) -> "list[tuple[tuple, list[int]]]":
+    """Two-level decomposition of trace groups into worker shards.
+
+    Level 1 is the existing unit — one shard per trace group.  When
+    that leaves workers idle (fewer groups than workers), level 2
+    repeatedly halves the largest splittable shard until the pool is
+    over-decomposed (two shards per worker): the surplus lets the
+    executor steal work when cells cost unevenly, and the strided
+    ``[0::2]``/``[1::2]`` halving spreads each shard across the grid's
+    cost gradient instead of handing one worker the expensive end.
+    Groups below ``min_cells`` pending cells never split.
+    """
+    shards = [(key, list(indices)) for key, indices in groups.items()]
+    if workers <= len(shards):
+        return shards
+    target = workers * 2
+    floor = max(2, min_cells)
+    while len(shards) < target:
+        largest = max(
+            range(len(shards)), key=lambda i: len(shards[i][1])
+        )
+        key, indices = shards[largest]
+        if len(indices) < floor:
+            break
+        shards[largest:largest + 1] = [
+            (key, indices[0::2]),
+            (key, indices[1::2]),
+        ]
+    return shards
+
+
+class ExperimentRunner:
+    """Maps simulation jobs over worker processes, two levels deep.
+
+    Jobs are grouped by trace recipe so each worker acquires every
     trace exactly once and shares baselines across its bundle via its
-    process-local session.  On a single-CPU machine (or with
-    ``REPRO_JOBS=1``) everything runs in-process through the *global*
-    session — which is strictly better for cache reuse, just not
-    concurrent.  Subprocess failures of the platform kind (sandboxes
-    without fork, missing semaphores) degrade to the serial path.
+    process-local session; when the groups are fewer than the workers,
+    the larger groups additionally split into strided *cell* shards
+    (``_shard_groups``) so a single big grid still saturates the pool.
+    Split groups ship over the zero-copy shared-memory trace plane
+    (:mod:`repro.sim.shm`, ``REPRO_SHM=off`` to disable): the parent
+    exports the trace columns and the grid's stacked metadata
+    classification once, and every shard attaches read-only views.  On
+    a single-CPU machine (or with ``REPRO_JOBS=1``) everything runs
+    in-process through the *global* session — which is strictly better
+    for cache reuse, just not concurrent.  Subprocess failures of the
+    platform kind (sandboxes without fork, missing semaphores) degrade
+    to the serial path; segment cleanup is guaranteed on that path too.
     """
 
     def __init__(
@@ -529,9 +672,16 @@ class ExperimentRunner:
                 store.bump_counter("bundle_skips", skipped)
         if not groups:
             return results  # type: ignore[return-value]
-        pending = [i for indices in groups.values() for i in indices]
-        pending.sort()
-        if not self.parallel or len(groups) < 2:
+        # Two-level decomposition: shards are the scheduling unit — one
+        # per trace group while groups outnumber workers, and strided
+        # *cell* partitions of the larger groups when workers would
+        # otherwise idle (a single big grid then uses every core).
+        shards = (
+            _shard_groups(groups, self.max_workers, _shard_min_cells())
+            if self.parallel
+            else []
+        )
+        if len(shards) < 2:
             # Serial path: each trace group becomes one sweep
             # invocation (config-independent work shared across cells).
             for indices in groups.values():
@@ -547,53 +697,119 @@ class ExperimentRunner:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
-        try:
-            workers = min(self.max_workers, len(groups))
-            with ProcessPoolExecutor(
-                workers, mp_context=context
-            ) as pool:
-                futures = [
-                    (indices, pool.submit(
-                        _run_bundle,
-                        [jobs[i] for i in indices],
-                        store_root,
-                        store.trace_ref(trace_digest(trace_key))
-                        if store is not None
-                        else None,
-                        session.enabled,
-                    ))
-                    for trace_key, indices in groups.items()
-                ]
-                for indices, future in futures:
-                    bundle_results, cache_entries, stats_delta = (
-                        future.result()
+        shard_counts: "dict[tuple, int]" = {}
+        for trace_key, _ in shards:
+            shard_counts[trace_key] = shard_counts.get(trace_key, 0) + 1
+        exports = 0
+        pickled_bytes = 0
+        with TracePlane() as plane:
+            # Zero-copy data plane: each *split* group's trace (and its
+            # grid's stacked metadata classification) is materialized
+            # once here and exported to shared memory, so its cell
+            # shards attach instead of re-deriving per process.
+            # Unsplit groups keep the cheap TraceRef path — exporting
+            # them would serialize trace generation in the parent that
+            # the workers do in parallel today.
+            payloads: "dict[tuple, TracePayload]" = {}
+            if shm_enabled() and session.enabled:
+                for trace_key, count in shard_counts.items():
+                    if count < 2:
+                        continue
+                    indices = groups[trace_key]
+                    first = jobs[indices[0]]
+                    trace = session.trace(
+                        first.workload,
+                        scale=first.scale,
+                        cores=first.cores,
+                        seed=first.seed,
+                        records_per_core=first.records_per_core,
                     )
-                    # Adopt the workers' memo entries so later serial
-                    # runs (and later map() calls) reuse this work, and
-                    # fold their counters in so this session's stats
-                    # describe the whole fan-out.
-                    session.adopt_results(cache_entries)
-                    for name, delta in stats_delta.items():
-                        setattr(
-                            session.stats,
-                            name,
-                            getattr(session.stats, name, 0) + delta,
+                    geometries = job_geometries(
+                        [jobs[i] for i in indices], trace.cores
+                    )
+                    arrays = (
+                        stacked_metadata_arrays(
+                            [np.asarray(b) for b in trace.blocks],
+                            geometries,
                         )
-                    for i, result in zip(indices, bundle_results):
+                        if geometries
+                        else None
+                    )
+                    payload = plane.export(trace, arrays)
+                    if payload is not None:
+                        payloads[trace_key] = payload
+                        exports += 1
+            try:
+                workers = min(self.max_workers, len(shards))
+                with ProcessPoolExecutor(
+                    workers, mp_context=context
+                ) as pool:
+                    futures = []
+                    for trace_key, indices in shards:
+                        payload = payloads.get(trace_key)
+                        ref = (
+                            store.trace_ref(trace_digest(trace_key))
+                            if store is not None
+                            else None
+                        )
+                        if payload is None:
+                            pickled_bytes += _ref_bytes(ref)
+                        futures.append((indices, pool.submit(
+                            _run_bundle,
+                            [jobs[i] for i in indices],
+                            store_root,
+                            ref,
+                            session.enabled,
+                            payload,
+                        )))
+                    for indices, future in futures:
+                        bundle_results, cache_entries, stats_delta = (
+                            future.result()
+                        )
+                        # Adopt the workers' memo entries so later
+                        # serial runs (and later map() calls) reuse
+                        # this work, and fold their counters in so this
+                        # session's stats describe the whole fan-out.
+                        session.adopt_results(cache_entries)
+                        for name, delta in stats_delta.items():
+                            setattr(
+                                session.stats,
+                                name,
+                                getattr(session.stats, name, 0) + delta,
+                            )
+                        for i, result in zip(indices, bundle_results):
+                            results[i] = result
+            except (OSError, PermissionError, RuntimeError, ImportError):
+                # Platform refused subprocesses; run everything here.
+                # Any worker deltas already folded in would
+                # double-count once the serial pass re-tallies the same
+                # jobs — roll them back (adopted results stay: they are
+                # valid and make the serial pass cheaper).  The plane's
+                # segments are unlinked by the enclosing context
+                # manager on this path too.
+                session.stats = stats_before
+                for indices in groups.values():
+                    group_results = _run_group(
+                        [jobs[i] for i in indices], session
+                    )
+                    for i, result in zip(indices, group_results):
                         results[i] = result
-        except (OSError, PermissionError, RuntimeError, ImportError):
-            # Platform refused subprocesses; run everything here.  Any
-            # worker deltas already folded in would double-count once
-            # the serial pass re-tallies the same jobs — roll them back
-            # (adopted results stay: they are valid and make the serial
-            # pass cheaper).
-            session.stats = stats_before
-            for indices in groups.values():
-                group_results = _run_group(
-                    [jobs[i] for i in indices], session
-                )
-                for i, result in zip(indices, group_results):
-                    results[i] = result
+                return results  # type: ignore[return-value]
+        session.stats.shm_exports += exports
+        session.stats.shm_bytes_pickled += pickled_bytes
+        if store is not None:
+            store.bump_counters({
+                "shm_segments_created": exports,
+                "shm_segments_attached": (
+                    session.stats.shm_attaches
+                    - stats_before.shm_attaches
+                ),
+                "shm_bytes_zero_copy": (
+                    session.stats.shm_bytes_zero_copy
+                    - stats_before.shm_bytes_zero_copy
+                ),
+                "shm_bytes_pickled": pickled_bytes,
+            })
         return results  # type: ignore[return-value]
 
     @staticmethod

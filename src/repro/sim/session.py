@@ -79,6 +79,18 @@ class SessionStats:
     #: engine (scalar engine requested, or no vectorizable form) —
     #: nonzero values flag silent de-vectorization.
     sweep_fallbacks: int = 0
+    #: Shared-memory trace-plane segments this session's runner
+    #: exported for cell shards (parent side of the zero-copy plane).
+    shm_exports: int = 0
+    #: Trace-plane segments attached by workers (folded back into the
+    #: parent's stats after a fan-out).
+    shm_attaches: int = 0
+    #: Bytes served to workers as zero-copy shared-memory views.
+    shm_bytes_zero_copy: int = 0
+    #: Bytes shipped to workers on the pickle/npz fallback path
+    #: (TraceRef file sizes) — the plane's savings are the contrast
+    #: between this and :attr:`shm_bytes_zero_copy`.
+    shm_bytes_pickled: int = 0
 
 
 def _freeze(value):
@@ -266,6 +278,40 @@ class SimSession:
         if not self.enabled:
             return None
         return self._traces.get(key)
+
+    def adopt_shm_trace(
+        self,
+        workload: str,
+        scale: "str | ScalePreset",
+        cores: int,
+        seed: int,
+        records_per_core: "int | None",
+        trace: Trace,
+        nbytes: int = 0,
+    ) -> bool:
+        """Seed the memory tier with a shared-memory-attached trace.
+
+        Pool workers call this after attaching the parent's trace-plane
+        segment (:mod:`repro.sim.shm`): the zero-copy trace serves every
+        later lookup in this process, so the worker neither re-reads the
+        ``.npz`` nor regenerates.  The attach is counted regardless of
+        whether the memory tier already held the trace (the segment was
+        mapped either way); a disabled session refuses the seed — it
+        must force full recomputation.
+        """
+        self.stats.shm_attaches += 1
+        self.stats.shm_bytes_zero_copy += nbytes
+        if not self.enabled:
+            return False
+        key = trace_recipe_key(
+            workload, get_scale(scale), cores, seed, records_per_core
+        )
+        if key not in self._traces:
+            # Not marked primed: later lookups count as plain memory
+            # hits (the bytes never touched the disk tier here); the
+            # shm_* counters carry the provenance.
+            self._traces[key] = trace
+        return True
 
     def adopt_trace(self, key: tuple, trace: Trace) -> None:
         """Seed the memory tier with a store-read trace the caller is

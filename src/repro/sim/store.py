@@ -621,8 +621,21 @@ class ArtifactStore:
     def bump_counter(self, name: str, delta: int = 1) -> None:
         """Increment a persistent counter (read-modify-write; a lost
         race under-counts, which is acceptable for telemetry)."""
+        self.bump_counters({name: delta})
+
+    def bump_counters(self, deltas: "dict[str, int]") -> None:
+        """Increment several persistent counters in one write.
+
+        The runner folds a whole fan-out's shared-memory counters in a
+        single read-modify-write instead of one file rewrite per name;
+        zero deltas are skipped.
+        """
+        deltas = {name: d for name, d in deltas.items() if d}
+        if not deltas:
+            return
         counters = self.counters()
-        counters[name] = counters.get(name, 0) + delta
+        for name, delta in deltas.items():
+            counters[name] = counters.get(name, 0) + delta
         try:
             self._atomic_write_bytes(
                 self._counters_path(),

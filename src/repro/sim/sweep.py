@@ -86,6 +86,34 @@ class SweepShared:
                 stacked_metadata_columns(self._blocks_arrays, missing)
             )
 
+    def adopt_arrays(
+        self,
+        arrays_by_geometry: "dict[tuple, tuple[list, list | None]]",
+    ) -> None:
+        """Seed geometries from attached shared-memory array columns.
+
+        ``arrays_by_geometry`` maps geometries to per-core ndarray
+        columns (:func:`repro.sim.shm.attach`'s second return value) —
+        the classification already ran once in the parent, so adopting
+        costs only the native-list conversion the engine consumes.
+        Geometries already present are kept.
+        """
+        converted: "dict[int, list]" = {}
+
+        def _tolist(columns: "list") -> list:
+            key = id(columns)
+            if key not in converted:
+                converted[key] = [np.asarray(c).tolist() for c in columns]
+            return converted[key]
+
+        for geometry, (buckets, tags) in arrays_by_geometry.items():
+            if geometry in self._columns:
+                continue
+            self._columns[geometry] = (
+                _tolist(buckets),
+                None if tags is None else _tolist(tags),
+            )
+
     def metadata_columns(
         self, geometry: "tuple"
     ) -> "tuple[list, list | None]":
@@ -97,9 +125,32 @@ class SweepShared:
         return columns
 
 
+def job_geometries(jobs: "list", cores: int) -> "list[tuple]":
+    """Index geometries of a job list's vectorizable STMS cells.
+
+    The two-level scheduler classifies these once in the parent
+    (:func:`repro.core.index_table.stacked_metadata_arrays`) and exports
+    the columns through the shared-memory trace plane, so cell shards
+    never re-derive them.
+    """
+    from repro.sim.runner import _job_configs
+
+    geometries: "list[tuple]" = []
+    for job in jobs:
+        sim_config, stms_config = _job_configs(job, cores)
+        if stms_config is not None and (
+            resolve_engine(sim_config.engine) != "scalar"
+        ):
+            geometries.append(
+                (stms_config.index_buckets, stms_config.tag_bits)
+            )
+    return geometries
+
+
 def run_sweep(
     jobs: "list",
     session: "SimSession | None" = None,
+    shared: "SweepShared | None" = None,
 ) -> "list[SimResult]":
     """Run a group of jobs sharing one trace as one sweep invocation.
 
@@ -108,6 +159,12 @@ def run_sweep(
     exactly as :func:`repro.sim.runner.run_job` would serve them; only
     the cells that actually need simulating enter the shared pass, so a
     warm grid costs no precomputation at all.
+
+    ``shared`` (a prebuilt :class:`SweepShared`, e.g. around a
+    shared-memory-attached trace with adopted metadata columns) short-
+    circuits the trace acquisition and any classification it already
+    carries; it is a pure compute shortcut — cache keys and results are
+    identical with or without it.
     """
     from repro.sim.runner import (
         _job_configs,
@@ -121,13 +178,16 @@ def run_sweep(
     if not jobs:
         return []
     first = jobs[0]
-    trace = session.trace(
-        first.workload,
-        scale=first.scale,
-        cores=first.cores,
-        seed=first.seed,
-        records_per_core=first.records_per_core,
-    )
+    if shared is not None:
+        trace = shared.trace
+    else:
+        trace = session.trace(
+            first.workload,
+            scale=first.scale,
+            cores=first.cores,
+            seed=first.seed,
+            records_per_core=first.records_per_core,
+        )
     results: "list[SimResult | None]" = [None] * len(jobs)
     # Cache probe first: a sweep invocation only precomputes for cells
     # it will actually simulate.
@@ -153,7 +213,8 @@ def run_sweep(
             )
         plans.append((index, job, sim_config, stms_config, vectorizable))
 
-    shared = SweepShared(trace)
+    if shared is None:
+        shared = SweepShared(trace)
     shared.precompute(geometries)
 
     cells = 0

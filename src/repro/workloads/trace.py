@@ -177,6 +177,61 @@ class Trace:
             ),
         )
 
+    def export_meta(self) -> "tuple[tuple[str, object], ...]":
+        """Scalar and per-core metadata as a picklable tuple.
+
+        The shared-memory trace plane ships this beside the raw column
+        buffers; :meth:`from_buffers` is the inverse.  Column arrays are
+        deliberately absent — they travel out-of-band (zero-copy).
+        """
+        def _frozen(values):
+            return None if values is None else tuple(values)
+
+        return (
+            ("name", self.name),
+            ("working_set_blocks", self.working_set_blocks),
+            ("warmup_fraction", self.warmup_fraction),
+            ("core_workloads", _frozen(self.core_workloads)),
+            ("core_warmup", _frozen(self.core_warmup)),
+            ("core_rates", _frozen(self.core_rates)),
+            ("core_priorities", _frozen(self.core_priorities)),
+        )
+
+    @classmethod
+    def from_buffers(
+        cls,
+        meta: "tuple[tuple[str, object], ...]",
+        blocks: "list[np.ndarray]",
+        work: "list[np.ndarray]",
+        dep: "list[np.ndarray]",
+        write: "list[np.ndarray]",
+    ) -> "Trace":
+        """Rebuild a trace around externally-owned column buffers.
+
+        ``meta`` is :meth:`export_meta`'s output; the column arrays may
+        be views into a shared-memory segment (the caller keeps the
+        backing mapping alive — the plane pins the segment handle on
+        the returned instance).
+        """
+        fields_ = dict(meta)
+
+        def _thawed(values):
+            return None if values is None else list(values)
+
+        return cls(
+            name=fields_["name"],
+            blocks=list(blocks),
+            work=list(work),
+            dep=list(dep),
+            write=list(write),
+            working_set_blocks=fields_["working_set_blocks"],
+            warmup_fraction=fields_["warmup_fraction"],
+            core_workloads=_thawed(fields_["core_workloads"]),
+            core_warmup=_thawed(fields_["core_warmup"]),
+            core_rates=_thawed(fields_["core_rates"]),
+            core_priorities=_thawed(fields_["core_priorities"]),
+        )
+
     def save(self, path: str) -> None:
         """Persist the trace as an ``.npz`` archive.
 

@@ -411,6 +411,137 @@ def test_differential_sweep_nightly(seed):
     _check_sweep_seed(seed, grid_size=4)
 
 
+# ----------------------------------------------------------------------
+# Parallel-plane cases: the two-level scheduler and the zero-copy
+# shared-memory trace plane are pure transports — a shm-attached trace
+# must drive the engine to bit-identical deep state, and a cell-parallel
+# runner fan-out (with and without the plane) must land exactly the
+# serial path's results.
+# ----------------------------------------------------------------------
+
+
+def _check_parallel_plane_seed(seed: int, grid_size: int = 4) -> None:
+    from unittest import mock
+
+    from repro.core.index_table import stacked_metadata_arrays
+    from repro.sim.runner import (
+        ExperimentRunner,
+        SimJob,
+        job_options,
+    )
+    from repro.sim.session import SimSession, set_session
+    from repro.sim.shm import TracePlane
+    from repro.sim.shm import attach as shm_attach
+    from repro.sim.store import encode_result
+    from repro.sim.sweep import SweepShared
+    from repro.workloads.suite import FIGURE_ORDER
+
+    rng = np.random.default_rng(seed)
+    cores = int(rng.integers(1, 5))
+    if rng.random() < 0.25:
+        trace = _mix_trace(rng, cores)
+    else:
+        trace = _random_trace(rng, cores)
+    config = _random_machine(rng, cores)
+    cell = _random_grid_stms(rng, cores)
+    factory = make_factory(PrefetcherKind.STMS, cell)
+
+    # (a) Deep-state bit-identity of the plane itself: the engine driven
+    # from a shm-attached trace (with parent-classified metadata
+    # columns adopted) must snapshot identically to the original.
+    reference = _run_and_snapshot(BatchRunState, config, trace, factory)
+    geometry = (cell.index_buckets, cell.tag_bits)
+    arrays = stacked_metadata_arrays(
+        [np.asarray(b) for b in trace.blocks], [geometry]
+    )
+    with TracePlane() as plane:
+        payload = plane.export(trace, arrays)
+        assert payload is not None
+        attached_trace, metadata = shm_attach(payload)
+        shared = SweepShared(attached_trace)
+        shared.adopt_arrays(metadata)
+        attached = _run_and_snapshot(
+            BatchRunState, config, attached_trace, factory, shared=shared
+        )
+        for phase, index in (("warmup", 0), ("final", 1)):
+            assert attached[index] == reference[index], (
+                f"seed {seed}: shm-attached trace diverged from the "
+                f"original at {phase} snapshot"
+            )
+        assert (
+            encode_result(attached[2]) == encode_result(reference[2])
+        )
+
+    # (b) Scheduler-level identity: serial vs cell-parallel (shm plane)
+    # vs cell-parallel with the plane disabled, over a real suite
+    # recipe the runner can ship (seed-derived single-trace grid).
+    names = list(FIGURE_ORDER)
+    workload = names[int(rng.integers(0, len(names)))]
+    job_seed = int(rng.integers(0, 2**31))
+    jobs = [
+        SimJob(
+            workload,
+            PrefetcherKind.STMS,
+            scale="test",
+            cores=2,
+            seed=job_seed,
+            stms_overrides=job_options(
+                sampling_probability=float(
+                    rng.choice([0.0, 0.125, 0.5, 1.0])
+                ),
+                index_buckets=int(rng.choice([16, 64])),
+                lookahead=int(rng.choice([2, 6])),
+            ),
+        )
+        for _ in range(grid_size)
+    ]
+
+    def _leg(parallel: bool, environment: "dict[str, str]"):
+        legs_session = SimSession(enabled=True, store=None)
+        previous = set_session(legs_session)
+        try:
+            with mock.patch.dict(os.environ, environment):
+                runner = ExperimentRunner(
+                    max_workers=2 if parallel else 1, parallel=parallel
+                )
+                return runner.map(jobs, session=legs_session)
+        finally:
+            set_session(previous)
+
+    serial = _leg(False, {})
+    shm_leg = _leg(True, {})
+    pickled_leg = _leg(True, {"REPRO_SHM": "off"})
+    serial_encoded = [encode_result(r) for r in serial]
+    assert [encode_result(r) for r in shm_leg] == serial_encoded, (
+        f"seed {seed}: cell-parallel shm-plane leg diverged from serial"
+    )
+    assert [encode_result(r) for r in pickled_leg] == serial_encoded, (
+        f"seed {seed}: cell-parallel pickled leg diverged from serial"
+    )
+
+
+#: Pinned fast parallel-plane seeds (tier-1).
+PARALLEL_PLANE_FAST_SEEDS = (301, 302, 303)
+
+
+@pytest.mark.parametrize("seed", PARALLEL_PLANE_FAST_SEEDS)
+def test_differential_parallel_plane(seed):
+    _check_parallel_plane_seed(seed)
+
+
+#: Nightly parallel-plane window: same rotating base, a fresh offset so
+#: none of the three windows overlap.
+PARALLEL_PLANE_SLOW_SEEDS = tuple(
+    range(_slow_seed_base() + 2_000_000, _slow_seed_base() + 2_000_012)
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", PARALLEL_PLANE_SLOW_SEEDS)
+def test_differential_parallel_plane_nightly(seed):
+    _check_parallel_plane_seed(seed, grid_size=5)
+
+
 def test_snapshot_captures_stms_metadata():
     """The snapshot must actually contain the metadata the suite claims
     to compare — guard against silent shrinkage of the contract."""
