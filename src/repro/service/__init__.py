@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: a long-running daemon over the shared store.
+
+The artifact store (:mod:`repro.sim.store`) stops being a private cache
+here and becomes the backing tier of a service: a stdlib-``asyncio``
+HTTP daemon (:mod:`repro.service.daemon`) accepts sweep requests keyed
+by the existing recipe keys, serves warm ones straight from the store,
+and **single-flights** cold ones (:mod:`repro.service.singleflight`) —
+one in-process simulation per distinct recipe key feeds every waiting
+client, with a per-request timeout and bounded retry on worker failure.
+Completed results write back through the store, so the next client (or
+the next CI job, or a plain ``repro run``) is warm.
+
+:mod:`repro.service.client` is the matching stdlib-only synchronous
+client, used by the ``repro client`` CLI group and the tests.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import (
+    ServiceConfig,
+    ServiceDaemon,
+    job_from_spec,
+    serve_in_thread,
+    service_key,
+)
+from repro.service.singleflight import SingleFlight
+
+__all__ = [
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "SingleFlight",
+    "job_from_spec",
+    "serve_in_thread",
+    "service_key",
+]

@@ -1,0 +1,216 @@
+"""Synchronous stdlib client for the simulation service daemon.
+
+One class wrapping ``http.client`` — no third-party HTTP stack — used
+by the ``repro client`` CLI group, the service tests (which hammer one
+daemon from several threads to exercise single-flight), and anything
+else that wants warm results from a shared store over the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from urllib.parse import urlsplit
+
+from repro.service.daemon import DEFAULT_PORT
+
+
+def default_service_url() -> str:
+    """``$REPRO_SERVE_URL``, else localhost on the default port."""
+    env = os.environ.get("REPRO_SERVE_URL")
+    if env:
+        return env
+    port = os.environ.get("REPRO_SERVE_PORT", str(DEFAULT_PORT))
+    return f"http://127.0.0.1:{port}"
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or an unreachable daemon)."""
+
+    def __init__(self, message: str, status: "int | None" = None,
+                 payload: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+def job_spec(
+    workload: str,
+    kind: str = "stms",
+    scale: str = "bench",
+    cores: int = 4,
+    seed: int = 7,
+    records_per_core: "int | None" = None,
+    use_stride: bool = True,
+    stms_overrides: "dict | None" = None,
+    factory_options: "dict | None" = None,
+    cmp_overrides: "dict | None" = None,
+    dram_overrides: "dict | None" = None,
+) -> dict:
+    """A submit/status/fetch request body (the daemon's wire format)."""
+    return {
+        "workload": workload,
+        "kind": kind,
+        "scale": scale,
+        "cores": cores,
+        "seed": seed,
+        "records_per_core": records_per_core,
+        "use_stride": use_stride,
+        "stms_overrides": stms_overrides or {},
+        "factory_options": factory_options or {},
+        "cmp_overrides": cmp_overrides or {},
+        "dram_overrides": dram_overrides or {},
+    }
+
+
+class ServiceClient:
+    """Talk to one daemon; every call is one short-lived connection."""
+
+    def __init__(
+        self,
+        url: "str | None" = None,
+        timeout: "float | None" = None,
+    ) -> None:
+        self.url = url or default_service_url()
+        split = urlsplit(self.url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported service URL {self.url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or DEFAULT_PORT
+        #: Socket timeout; waits for long cold simulations ride on top
+        #: of the daemon-side request timeout, so default to blocking.
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: "dict | None" = None,
+        timeout: "float | None" = None,
+    ) -> "tuple[int, object]":
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as error:
+            raise ServiceError(
+                f"service at {self.url} unreachable: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            parsed: object = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            parsed = raw
+        return response.status, parsed
+
+    @staticmethod
+    def _checked(status: int, parsed: object) -> dict:
+        payload = parsed if isinstance(parsed, dict) else {}
+        if status >= 400:
+            raise ServiceError(
+                payload.get("error", f"HTTP {status}"),
+                status=status,
+                payload=payload,
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def health(self) -> bool:
+        try:
+            status, _ = self._request("GET", "/healthz", timeout=5.0)
+        except ServiceError:
+            return False
+        return status == 200
+
+    def wait_until_ready(self, deadline_s: float = 15.0) -> bool:
+        """Poll ``/healthz`` until the daemon answers (or time runs out)."""
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if self.health():
+                return True
+            time.sleep(0.05)
+        return False
+
+    def stats(self) -> dict:
+        return self._checked(*self._request("GET", "/stats"))
+
+    def submit(
+        self,
+        spec: dict,
+        wait: bool = True,
+        timeout_s: "float | None" = None,
+    ) -> dict:
+        """Submit a job spec; blocks for the result when ``wait``.
+
+        Returns the daemon's response payload: ``state`` is ``done``
+        (with the stored ``result`` record inline), ``running`` (not
+        waited, or timed out server-side — poll :meth:`status`), or a
+        :class:`ServiceError` is raised on failure.
+        """
+        body = dict(spec)
+        body["wait"] = wait
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._checked(*self._request("POST", "/submit", body))
+
+    def status(self, spec: dict) -> dict:
+        return self._checked(*self._request("POST", "/status", spec))
+
+    def fetch(self, spec: dict) -> dict:
+        """The persisted result record for a spec (404 -> ServiceError)."""
+        status, parsed = self._request("POST", "/fetch", spec)
+        if status >= 400:
+            self._checked(status, parsed)
+        if not isinstance(parsed, dict):
+            raise ServiceError("fetch returned a non-JSON record")
+        return parsed
+
+    def fetch_bytes(self, spec: dict) -> bytes:
+        """Raw stored record bytes (bit-identical across clients)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                "/fetch",
+                body=json.dumps(spec).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as error:
+            raise ServiceError(
+                f"service at {self.url} unreachable: {error}"
+            ) from error
+        finally:
+            connection.close()
+        if response.status >= 400:
+            try:
+                payload = json.loads(raw.decode())
+            except ValueError:
+                payload = {}
+            raise ServiceError(
+                payload.get("error", f"HTTP {response.status}"),
+                status=response.status,
+                payload=payload,
+            )
+        return raw

@@ -1,0 +1,686 @@
+"""The simulation service daemon: HTTP over asyncio, store-backed.
+
+A deliberately minimal HTTP/1.1 layer (stdlib ``asyncio`` streams — no
+new dependencies) in front of the shared artifact store:
+
+* ``POST /submit`` — body is a job spec (see :func:`job_from_spec`).
+  Warm requests answer straight from the store; cold ones are
+  single-flighted: one in-process simulation per distinct recipe key
+  feeds every waiting client, with a per-request timeout (waiters get
+  ``202`` + ``timed_out`` and can poll) and bounded retry on worker
+  failure.  ``"wait": false`` returns ``202`` immediately.
+* ``POST /status`` (or ``GET /status/<key>``) — request state:
+  ``done`` / ``running`` / ``failed`` / ``unknown``.
+* ``POST /fetch`` (or ``GET /fetch/<key>``) — the raw persisted result
+  record, byte-identical for every client because it is read straight
+  from the store file the simulation wrote.
+* ``GET /healthz``, ``GET /stats`` — liveness and counters.
+
+Simulations run via :func:`asyncio.to_thread` (the session layer is
+thread-safe), bounded by a semaphore; every request is appended to a
+structured JSONL log beside the store, and per-endpoint latency /
+hit-rate counters persist through the store's counter file (shown by
+``repro cache stats``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.singleflight import SingleFlight
+from repro.sim.runner import (
+    PrefetcherKind,
+    SimJob,
+    job_result_key,
+    run_job,
+)
+from repro.sim.session import SimSession, _freeze
+from repro.sim.store import (
+    ArtifactStore,
+    default_store_dir,
+    key_digest,
+    result_digest,
+    trace_digest,
+)
+from repro.workloads.mix import is_mix
+from repro.workloads.suite import SCALES, WORKLOADS
+
+DEFAULT_PORT = 8023
+_MAX_BODY_BYTES = 1 << 20
+_READ_TIMEOUT_S = 30.0
+_REQUEST_LOG_FILE = "service-log.jsonl"
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return default
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon knobs; every default is overridable via the environment."""
+
+    host: str = "127.0.0.1"
+    #: ``REPRO_SERVE_PORT``; 0 binds an ephemeral port (tests).
+    port: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_PORT", DEFAULT_PORT)
+    )
+    store_dir: str = field(default_factory=default_store_dir)
+    #: Default per-request wait bound (``REPRO_SERVE_TIMEOUT_S``); a
+    #: submit body's ``timeout_s`` overrides it per request.
+    timeout_s: float = field(
+        default_factory=lambda: _env_float("REPRO_SERVE_TIMEOUT_S", 300.0)
+    )
+    #: Re-executions after a worker failure (``REPRO_SERVE_RETRIES``).
+    retries: int = field(
+        default_factory=lambda: _env_int("REPRO_SERVE_RETRIES", 1)
+    )
+    #: Concurrent simulations offloaded to threads
+    #: (``REPRO_SERVE_WORKERS``).
+    max_concurrent: int = field(
+        default_factory=lambda: max(1, _env_int("REPRO_SERVE_WORKERS", 2))
+    )
+    #: Counter bumps folded per persistent counter write.
+    counter_flush_every: int = 8
+
+
+# ----------------------------------------------------------------------
+# Job specs: the wire format of a sweep request.
+# ----------------------------------------------------------------------
+
+_OVERRIDE_FIELDS = (
+    "stms_overrides",
+    "factory_options",
+    "cmp_overrides",
+    "dram_overrides",
+)
+
+
+def job_from_spec(spec: dict) -> SimJob:
+    """Build the :class:`SimJob` a request body describes.
+
+    The spec mirrors ``SimJob``'s fields with JSON-friendly types:
+    ``kind`` is the prefetcher value string, the four override tuples
+    are plain objects.  Raises ``ValueError`` on anything malformed —
+    the daemon maps that to a 400.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("job spec must be a JSON object")
+    workload = spec.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ValueError("job spec needs a 'workload' string")
+    if workload not in WORKLOADS and not is_mix(workload):
+        raise ValueError(f"unknown workload {workload!r}")
+    scale = spec.get("scale", "bench")
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        )
+    kind = PrefetcherKind(spec.get("kind", "stms"))
+    overrides: dict[str, tuple] = {}
+    for name in _OVERRIDE_FIELDS:
+        raw = spec.get(name) or {}
+        if not isinstance(raw, dict):
+            raise ValueError(f"{name!r} must be a JSON object")
+        overrides[name] = tuple(sorted(raw.items()))
+    records = spec.get("records_per_core")
+    return SimJob(
+        workload=workload,
+        kind=kind,
+        scale=scale,
+        cores=int(spec.get("cores", 4)),
+        seed=int(spec.get("seed", 7)),
+        records_per_core=None if records is None else int(records),
+        use_stride=bool(spec.get("use_stride", True)),
+        **overrides,
+    )
+
+
+def service_key(job: SimJob) -> str:
+    """The request key: a digest of the job's full recipe.
+
+    Computable *before* any trace exists (unlike the result key, which
+    needs the trace fingerprint), so it is what the inflight table and
+    the status endpoints are keyed by.  Distinct spellings of the same
+    mix workload canonicalize to one key via ``trace_key()``.
+    """
+    return key_digest(
+        "service-job",
+        (
+            job.trace_key(),
+            job.kind.value,
+            job.use_stride,
+            _freeze(job.stms_overrides),
+            _freeze(job.factory_options),
+            _freeze(job.cmp_overrides),
+            _freeze(job.dram_overrides),
+        ),
+    )
+
+
+class ServiceError(Exception):
+    """A request failed after exhausting its retry budget."""
+
+
+# ----------------------------------------------------------------------
+# Structured request log.
+# ----------------------------------------------------------------------
+
+
+class RequestLog:
+    """Append-only JSONL log of served requests (one line each).
+
+    Lives beside the store (``service-log.jsonl``) so the operational
+    record travels with the data it describes.  Lines carry endpoint,
+    key, outcome, and latency — the greppable complement of the
+    aggregate counters in ``cache stats``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def record(self, **fields: object) -> None:
+        line = json.dumps(
+            {"ts": round(time.time(), 3), **fields}, sort_keys=True
+        )
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except OSError:
+                pass  # logging must never take a request down
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# The daemon.
+# ----------------------------------------------------------------------
+
+
+class ServiceDaemon:
+    """Long-running simulation service over one shared artifact store.
+
+    ``executor`` (default: :func:`repro.sim.runner.run_job` through the
+    daemon's session) is the synchronous callable that computes a cold
+    job; tests inject failing/slow ones to exercise retry and timeout.
+    """
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        session: "SimSession | None" = None,
+        executor=None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if session is None:
+            session = SimSession(
+                enabled=True,
+                store=ArtifactStore(self.config.store_dir),
+            )
+        if session.store is None:
+            raise ValueError(
+                "the service needs a store-backed session: warm hits, "
+                "write-back, and fetch all read through it"
+            )
+        self.session = session
+        self.store: ArtifactStore = session.store
+        self._execute = executor if executor is not None else (
+            lambda job: run_job(job, self.session)
+        )
+        self.flights = SingleFlight()
+        #: Request records by service key (in-memory view; the store
+        #: holds the durable artifacts).
+        self.requests: "dict[str, dict]" = {}
+        self.counters = self.store.buffered_counters(
+            self.config.counter_flush_every
+        )
+        self.log = RequestLog(
+            os.path.join(self.store.root, _REQUEST_LOG_FILE)
+        )
+        self._sem = asyncio.Semaphore(self.config.max_concurrent)
+        self._server: "asyncio.base_events.Server | None" = None
+        self.port: "int | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start serving; returns (host, actual port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.config.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, flush counters and the request log."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.counters.flush()
+        self.log.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port or self.config.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        started = time.perf_counter()
+        endpoint = "?"
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), _READ_TIMEOUT_S
+                )
+                endpoint = path.split("/", 2)[1] or "/"
+                status, payload = await self._route(method, path, body)
+            except _HttpError as error:
+                status, payload = error.status, {"error": str(error)}
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                UnicodeDecodeError,
+                ValueError,
+            ) as error:
+                status, payload = 400, {"error": str(error) or "bad request"}
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                status, payload = 500, {
+                    "error": f"{type(error).__name__}: {error}"
+                }
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self._account(endpoint, status, latency_ms)
+            writer.write(self._render(status, payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to answer
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader) -> "tuple[str, str, bytes]":
+        request_line = (await reader.readline()).decode("ascii").strip()
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("ascii").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    @staticmethod
+    def _render(status: int, payload) -> bytes:
+        if isinstance(payload, bytes):
+            body = payload
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        return head.encode("ascii") + body
+
+    def _account(
+        self, endpoint: str, status: int, latency_ms: float
+    ) -> None:
+        if endpoint not in ("submit", "status", "fetch"):
+            return
+        self.counters.bump_many({
+            f"service_{endpoint}_requests": 1,
+            f"service_{endpoint}_errors": 1 if status >= 400 else 0,
+            f"service_{endpoint}_ms_total": max(1, round(latency_ms)),
+        })
+        self.log.record(
+            endpoint=endpoint,
+            status=status,
+            latency_ms=round(latency_ms, 3),
+        )
+
+    # ------------------------------------------------------------------
+    # Routing and endpoints.
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> "tuple[int, object]":
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"ok": True}
+            if path == "/stats":
+                return 200, self._stats_payload()
+            if path.startswith("/status/"):
+                return self._status_response(path[len("/status/"):])
+            if path.startswith("/fetch/"):
+                return self._fetch_response(path[len("/fetch/"):])
+            raise _HttpError(404, f"no such endpoint {path!r}")
+        if method != "POST":
+            raise _HttpError(405, f"unsupported method {method}")
+        try:
+            spec = json.loads(body.decode("utf-8") or "{}")
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"bad JSON body: {error}") from None
+        if path == "/submit":
+            return await self._handle_submit(spec)
+        if path == "/status":
+            job = self._job_or_400(spec)
+            return self._status_response(service_key(job), job)
+        if path == "/fetch":
+            job = self._job_or_400(spec)
+            return self._fetch_response(service_key(job), job)
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    @staticmethod
+    def _job_or_400(spec: dict) -> SimJob:
+        try:
+            return job_from_spec(spec)
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from None
+
+    def _stats_payload(self) -> dict:
+        persisted = self.store.counters()
+        for name, delta in self.counters.pending().items():
+            persisted[name] = persisted.get(name, 0) + delta
+        states: "dict[str, int]" = {}
+        for record in self.requests.values():
+            states[record["state"]] = states.get(record["state"], 0) + 1
+        return {
+            "counters": persisted,
+            "inflight": len(self.flights),
+            "requests": states,
+            "singleflight": {
+                "launched": self.flights.launched,
+                "coalesced": self.flights.coalesced,
+            },
+        }
+
+    # -- submit ---------------------------------------------------------
+
+    async def _handle_submit(self, spec: dict) -> "tuple[int, object]":
+        job = self._job_or_400(spec)
+        key = service_key(job)
+        wait = bool(spec.get("wait", True))
+        timeout = float(spec.get("timeout_s", self.config.timeout_s))
+        digest = await asyncio.to_thread(self._probe_warm, job)
+        if digest is not None:
+            self.requests[key] = {
+                "state": "done",
+                "warm": True,
+                "digest": digest,
+                "attempts": 0,
+            }
+            self.counters.bump("service_warm_hits")
+            return 200, {
+                "key": key,
+                "state": "done",
+                "warm": True,
+                "result": self._stored_record(digest),
+            }
+        self.counters.bump("service_cold_misses")
+        coalesced = self.flights.inflight(key)
+        flight = self.flights.submit(
+            key, lambda: self._run_cold(key, job)
+        )
+        self.counters.bump(
+            "service_single_flight_coalesced"
+            if coalesced
+            else "service_single_flight_launched"
+        )
+        if not wait:
+            return 202, {"key": key, "state": "running"}
+        try:
+            digest = await self.flights.wait(flight, timeout)
+        except asyncio.TimeoutError:
+            self.counters.bump("service_timeouts")
+            return 202, {"key": key, "state": "running", "timed_out": True}
+        except ServiceError as error:
+            return 500, {"key": key, "state": "failed", "error": str(error)}
+        return 200, {
+            "key": key,
+            "state": "done",
+            "warm": False,
+            "result": self._stored_record(digest),
+        }
+
+    async def _run_cold(self, key: str, job: SimJob) -> str:
+        """The single-flighted cold path: execute, retry, write back."""
+        record = self.requests.setdefault(
+            key, {"state": "running", "warm": False, "attempts": 0}
+        )
+        record["state"] = "running"
+        last_error: "BaseException | None" = None
+        for attempt in range(1, self.config.retries + 2):
+            record["attempts"] = attempt
+            if attempt > 1:
+                self.counters.bump("service_retries")
+            try:
+                async with self._sem:
+                    result = await asyncio.to_thread(self._execute, job)
+            except Exception as error:  # noqa: BLE001 - retried/reported
+                last_error = error
+                self.counters.bump("service_worker_failures")
+                continue
+            digest = await asyncio.to_thread(
+                self._write_back, job, result
+            )
+            record.update(state="done", digest=digest)
+            self.counters.bump("service_simulations")
+            return digest
+        record.update(state="failed", error=str(last_error))
+        raise ServiceError(
+            f"job failed after {self.config.retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    # -- store plumbing (runs in worker threads) ------------------------
+
+    def _probe_warm(self, job: SimJob) -> "str | None":
+        """Result digest when either cache tier already has the job."""
+        trace_key = job.trace_key()
+        trace = self.session.cached_trace(trace_key)
+        if trace is None:
+            trace = self.store.load_trace(trace_digest(trace_key))
+            if trace is None:
+                return None
+            self.session.adopt_trace(trace_key, trace)
+        result_key = job_result_key(job, trace)
+        result = self.session.lookup_result(result_key)
+        if result is None:
+            return None
+        digest = result_digest(result_key)
+        if not os.path.exists(self.store.result_path(digest)):
+            # Memory-tier-only hit: write back through so fetch (and
+            # every other process) sees the persisted record.
+            self.store.save_result(digest, result)
+        return digest
+
+    def _write_back(self, job: SimJob, result) -> str:
+        """Persist a computed result; returns its store digest.
+
+        ``run_job`` already wrote through the session's store; this
+        covers injected executors and returns the digest either way.
+        """
+        trace = self.session.trace(
+            job.workload,
+            scale=job.scale,
+            cores=job.cores,
+            seed=job.seed,
+            records_per_core=job.records_per_core,
+        )
+        result_key = job_result_key(job, trace)
+        digest = result_digest(result_key)
+        if not os.path.exists(self.store.result_path(digest)):
+            self.store.save_result(digest, result)
+        return digest
+
+    def _stored_record(self, digest: str) -> "dict | None":
+        """The persisted result record, parsed from the store file.
+
+        Every client of one digest reads the same bytes, so responses
+        embedding this record are identical across waiters.
+        """
+        try:
+            with open(self.store.result_path(digest), "rb") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- status / fetch -------------------------------------------------
+
+    def _status_response(
+        self, key: str, job: "SimJob | None" = None
+    ) -> "tuple[int, object]":
+        record = self.requests.get(key)
+        if record is not None:
+            payload = {
+                "key": key,
+                "state": record["state"],
+                "attempts": record.get("attempts", 0),
+                "warm": record.get("warm", False),
+            }
+            if "error" in record:
+                payload["error"] = record["error"]
+            return 200, payload
+        if job is not None:
+            digest = self._probe_warm(job)
+            if digest is not None:
+                return 200, {"key": key, "state": "done", "warm": True}
+        return 200, {"key": key, "state": "unknown"}
+
+    def _fetch_response(
+        self, key: str, job: "SimJob | None" = None
+    ) -> "tuple[int, object]":
+        record = self.requests.get(key)
+        digest = record.get("digest") if record else None
+        if digest is None and job is not None:
+            digest = self._probe_warm(job)
+        if digest is None:
+            raise _HttpError(404, f"no result for key {key!r}")
+        try:
+            with open(self.store.result_path(digest), "rb") as handle:
+                return 200, handle.read()
+        except OSError:
+            raise _HttpError(
+                404, f"result for {key!r} evicted from the store"
+            ) from None
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+# ----------------------------------------------------------------------
+# Thread-hosted serving (tests, and anything embedding the daemon).
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def serve_in_thread(daemon: ServiceDaemon, ready_timeout: float = 10.0):
+    """Run a daemon's event loop in a background thread; yields it.
+
+    The daemon is started before the body runs and stopped (counters
+    flushed, log closed, loop torn down) when the block exits — the
+    in-process analogue of ``repro serve`` + SIGINT.
+    """
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    failure: "list[BaseException]" = []
+
+    def _host() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(daemon.start())
+        except BaseException as error:  # noqa: BLE001 - reported below
+            failure.append(error)
+            ready.set()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(daemon.stop())
+            loop.close()
+
+    thread = threading.Thread(target=_host, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise RuntimeError("service daemon failed to start in time")
+    if failure:
+        thread.join(ready_timeout)
+        raise failure[0]
+    try:
+        yield daemon
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(ready_timeout)

@@ -1,0 +1,115 @@
+"""Single-flight coalescing: one computation per key, many waiters.
+
+The service daemon's cold path is the textbook single-flight shape
+(popularized by groupcache): when N clients concurrently request the
+same not-yet-cached recipe key, exactly one computation runs and its
+outcome feeds every waiter.  This module implements the inflight table
+for one asyncio event loop — the daemon composes it with a per-request
+timeout (waiters abandon the flight without cancelling it) and bounded
+retry (inside the supplier), and the store provides cross-process
+persistence of the outcome.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+
+class Flight:
+    """One in-progress computation: the shared outcome + its waiters."""
+
+    __slots__ = ("key", "outcome", "task", "waiters")
+
+    def __init__(self, key: object, outcome: "asyncio.Future") -> None:
+        self.key = key
+        #: Resolves to ``("ok", result)`` or ``("err", exception)`` —
+        #: never to a raised exception, so an abandoned flight (every
+        #: waiter timed out) cannot trigger the event loop's
+        #: "exception was never retrieved" diagnostics.
+        self.outcome = outcome
+        self.task: "asyncio.Task | None" = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Deduplicate concurrent async computations by key.
+
+    The first :meth:`submit` for a key launches the supplier as a task;
+    every concurrent submit for the same key joins the existing flight.
+    The table entry is removed the moment the flight settles, so a
+    *later* request for a failed key launches a fresh computation
+    (retry-on-next-request), while a successful one is expected to be
+    served by the caller's cache tier before it ever reaches here.
+    """
+
+    def __init__(self) -> None:
+        self._flights: "dict[object, Flight]" = {}
+        #: Computations actually started (cold, first-in).
+        self.launched = 0
+        #: Requests that joined an already-inflight computation.
+        self.coalesced = 0
+
+    def inflight(self, key: object) -> bool:
+        return key in self._flights
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def submit(
+        self,
+        key: object,
+        supplier: "Callable[[], Awaitable[object]]",
+    ) -> Flight:
+        """Join (or launch) the flight for ``key``; never blocks.
+
+        ``supplier`` is only invoked for the launching caller — joiners
+        share the launcher's outcome future.
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            self.coalesced += 1
+            return flight
+        self.launched += 1
+        loop = asyncio.get_running_loop()
+        flight = Flight(key, loop.create_future())
+        self._flights[key] = flight
+        flight.task = loop.create_task(self._drive(flight, supplier))
+        return flight
+
+    async def _drive(
+        self,
+        flight: Flight,
+        supplier: "Callable[[], Awaitable[object]]",
+    ) -> None:
+        try:
+            outcome = ("ok", await supplier())
+        except asyncio.CancelledError:
+            outcome = ("err", asyncio.CancelledError("flight cancelled"))
+        except BaseException as error:  # noqa: BLE001 - fed to waiters
+            outcome = ("err", error)
+        finally:
+            self._flights.pop(flight.key, None)
+        if not flight.outcome.cancelled():
+            flight.outcome.set_result(outcome)
+
+    async def wait(
+        self, flight: Flight, timeout: "float | None" = None
+    ) -> object:
+        """Await a flight's outcome; re-raises the supplier's failure.
+
+        A timeout abandons *this waiter only*: the computation keeps
+        running for everyone else (and for the cache write-back), which
+        is exactly what a per-request service timeout needs.  Raises
+        :class:`asyncio.TimeoutError` in that case.
+        """
+        flight.waiters += 1
+        try:
+            kind, value = await asyncio.wait_for(
+                asyncio.shield(flight.outcome), timeout
+            )
+        finally:
+            flight.waiters -= 1
+        if kind == "err":
+            raise value  # type: ignore[misc]
+        return value

@@ -519,19 +519,36 @@ def _default_workers() -> "tuple[int, bool]":
     return cpus, cpus > 1
 
 
+#: One warning per process for a malformed REPRO_SHARD_MIN_CELLS value.
+_SHARD_MIN_CELLS_WARNING_EMITTED = False
+
+
 def _shard_min_cells() -> int:
     """Smallest pending-cell count at which a trace group may be split.
 
     ``REPRO_SHARD_MIN_CELLS`` (default 2, floor 2) raises the level-2
     threshold for grids whose per-cell cost is too small to amortize a
-    shard's attach overhead; malformed values keep the default.
+    shard's attach overhead.  A malformed value used to fall back to
+    the default silently (while the equivalent ``REPRO_JOBS`` misparse
+    warned); it now warns once per process too.  Numeric values below
+    the floor are clamped without a warning — that floor is documented
+    behaviour, not a typo.
     """
+    global _SHARD_MIN_CELLS_WARNING_EMITTED
     env = os.environ.get("REPRO_SHARD_MIN_CELLS")
     if env is None:
         return 2
     try:
         value = int(env)
     except ValueError:
+        if not _SHARD_MIN_CELLS_WARNING_EMITTED:
+            _SHARD_MIN_CELLS_WARNING_EMITTED = True
+            warnings.warn(
+                f"invalid REPRO_SHARD_MIN_CELLS={env!r} (expected an "
+                "integer >= 2); using the default of 2",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 2
     return max(2, value)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 
@@ -161,7 +162,17 @@ def trace_recipe_key(
 
 
 class SimSession:
-    """Two-tier (memory -> disk) memo of traces and simulation results."""
+    """Two-tier (memory -> disk) memo of traces and simulation results.
+
+    Memo-tier accesses are guarded by a reentrant lock so sessions can
+    be shared across threads — the service daemon offloads simulations
+    from its event loop onto worker threads, all submitting through one
+    session.  The lock scopes to cache bookkeeping only: trace
+    generation and simulation proper run outside it, so two *distinct*
+    keys still compute concurrently (equal keys are the single-flight
+    layer's job — the session may at worst compute one twice, never
+    corrupt state).
+    """
 
     def __init__(
         self,
@@ -179,6 +190,9 @@ class SimSession:
         self.store: "ArtifactStore | None" = store if enabled else None
         self.max_memory_results = max_memory_results
         self.stats = SessionStats()
+        #: Reentrant: ``simulate`` -> ``lookup_result`` nests, and the
+        #: guarded sections are all short (no generation/simulation).
+        self._lock = threading.RLock()
         self._traces: "dict[tuple, Trace]" = {}
         #: Keys seeded into the memory tier from a disk entry that has
         #: not been *looked up* yet.  The disk read is attributed as a
@@ -212,23 +226,29 @@ class SimSession:
             workload, preset, cores, seed, records_per_core
         )
         if self.enabled:
-            cached = self._traces.get(key)
-            if cached is not None:
-                if key in self._primed:
-                    # First lookup of a primed entry: this is the disk
-                    # read's attribution (exactly once per acquisition).
-                    self._primed.discard(key)
-                    self.stats.trace_store_hits += 1
-                else:
-                    self.stats.trace_hits += 1
-                return cached
+            with self._lock:
+                cached = self._traces.get(key)
+                if cached is not None:
+                    if key in self._primed:
+                        # First lookup of a primed entry: this is the
+                        # disk read's attribution (exactly once per
+                        # acquisition).
+                        self._primed.discard(key)
+                        self.stats.trace_store_hits += 1
+                    else:
+                        self.stats.trace_hits += 1
+                    return cached
             if self.store is not None:
+                # Disk read outside the lock: a slow npz load must not
+                # stall other threads' memo hits.
                 loaded = self.store.load_trace(trace_digest(key))
                 if loaded is not None:
-                    self.stats.trace_store_hits += 1
-                    self._traces[key] = loaded
+                    with self._lock:
+                        self.stats.trace_store_hits += 1
+                        self._traces[key] = loaded
                     return loaded
-        self.stats.trace_misses += 1
+        with self._lock:
+            self.stats.trace_misses += 1
         trace = generate(
             workload,
             scale=preset,
@@ -237,7 +257,8 @@ class SimSession:
             records_per_core=records_per_core,
         )
         if self.enabled:
-            self._traces[key] = trace
+            with self._lock:
+                self._traces[key] = trace
             if self.store is not None:
                 self.store.save_trace(trace_digest(key), trace)
         return trace
@@ -262,22 +283,25 @@ class SimSession:
         key = trace_recipe_key(
             workload, get_scale(scale), cores, seed, records_per_core
         )
-        if key in self._traces:
-            return True
+        with self._lock:
+            if key in self._traces:
+                return True
         trace = load_trace_ref(ref)
         if trace is None:
             return False
         # No counter here: the store hit is attributed on first lookup
         # (see ``trace``), so priming + use counts one acquisition once.
-        self._traces[key] = trace
-        self._primed.add(key)
+        with self._lock:
+            self._traces[key] = trace
+            self._primed.add(key)
         return True
 
     def cached_trace(self, key: tuple) -> "Trace | None":
         """Memory-tier trace lookup (no generation, no counters)."""
         if not self.enabled:
             return None
-        return self._traces.get(key)
+        with self._lock:
+            return self._traces.get(key)
 
     def adopt_shm_trace(
         self,
@@ -299,19 +323,20 @@ class SimSession:
         mapped either way); a disabled session refuses the seed — it
         must force full recomputation.
         """
-        self.stats.shm_attaches += 1
-        self.stats.shm_bytes_zero_copy += nbytes
-        if not self.enabled:
-            return False
-        key = trace_recipe_key(
-            workload, get_scale(scale), cores, seed, records_per_core
-        )
-        if key not in self._traces:
-            # Not marked primed: later lookups count as plain memory
-            # hits (the bytes never touched the disk tier here); the
-            # shm_* counters carry the provenance.
-            self._traces[key] = trace
-        return True
+        with self._lock:
+            self.stats.shm_attaches += 1
+            self.stats.shm_bytes_zero_copy += nbytes
+            if not self.enabled:
+                return False
+            key = trace_recipe_key(
+                workload, get_scale(scale), cores, seed, records_per_core
+            )
+            if key not in self._traces:
+                # Not marked primed: later lookups count as plain
+                # memory hits (the bytes never touched the disk tier
+                # here); the shm_* counters carry the provenance.
+                self._traces[key] = trace
+            return True
 
     def adopt_trace(self, key: tuple, trace: Trace) -> None:
         """Seed the memory tier with a store-read trace the caller is
@@ -319,9 +344,10 @@ class SimSession:
         immediately).  Unlike :meth:`prime_trace` the acquisition is
         attributed here — deferring it would count nothing when the
         bundle is skipped and no later lookup ever happens."""
-        if self.enabled and key not in self._traces:
-            self._traces[key] = trace
-            self.stats.trace_store_hits += 1
+        with self._lock:
+            if self.enabled and key not in self._traces:
+                self._traces[key] = trace
+                self.stats.trace_store_hits += 1
 
     # ------------------------------------------------------------------
     # Simulation.
@@ -348,7 +374,8 @@ class SimSession:
         results are bit-identical with or without it.
         """
         if not self.enabled:
-            self.stats.sim_misses += 1
+            with self._lock:
+                self.stats.sim_misses += 1
             return Simulator(sim_config).run(
                 trace, temporal_factory, label=label, shared=shared
             )
@@ -356,7 +383,8 @@ class SimSession:
         cached = self.lookup_result(key)
         if cached is not None:
             return cached
-        self.stats.sim_misses += 1
+        with self._lock:
+            self.stats.sim_misses += 1
         result = Simulator(sim_config).run(
             trace, temporal_factory, label=label, shared=shared
         )
@@ -388,31 +416,35 @@ class SimSession:
         """
         if not self.enabled:
             return None
-        cached = self._results.get(key)
-        if cached is not None:
-            self.stats.sim_hits += 1
-            self._results.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.sim_hits += 1
+                self._results.move_to_end(key)
+                return cached
         if self.store is not None:
             loaded = self.store.load_result(result_digest(key))
             if loaded is not None:
-                self.stats.sim_store_hits += 1
-                self._remember(key, loaded)
+                with self._lock:
+                    self.stats.sim_store_hits += 1
+                    self._remember(key, loaded)
                 return loaded
         return None
 
     def _remember(self, key: tuple, result: SimResult) -> None:
         """Admit a result to the memory tier, evicting LRU past the cap."""
-        self._results[key] = result
-        self._results.move_to_end(key)
-        if self.max_memory_results is not None:
-            while len(self._results) > self.max_memory_results:
-                self._results.popitem(last=False)
-                self.stats.memory_evictions += 1
+        with self._lock:
+            self._results[key] = result
+            self._results.move_to_end(key)
+            if self.max_memory_results is not None:
+                while len(self._results) > self.max_memory_results:
+                    self._results.popitem(last=False)
+                    self.stats.memory_evictions += 1
 
     def export_results(self) -> "dict[tuple, SimResult]":
         """Snapshot of the result cache (for cross-process adoption)."""
-        return dict(self._results)
+        with self._lock:
+            return dict(self._results)
 
     def adopt_results(
         self, entries: "dict[tuple, SimResult]"
@@ -423,14 +455,16 @@ class SimSession:
         so entries from a worker process are valid here verbatim.
         """
         if self.enabled:
-            for key, result in entries.items():
-                self._remember(key, result)
+            with self._lock:
+                for key, result in entries.items():
+                    self._remember(key, result)
 
     def clear(self) -> None:
         """Drop all memory-tier entries (the disk store is untouched)."""
-        self._traces.clear()
-        self._primed.clear()
-        self._results.clear()
+        with self._lock:
+            self._traces.clear()
+            self._primed.clear()
+            self._results.clear()
 
 
 #: The process-wide session used by the runner layer.

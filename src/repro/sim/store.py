@@ -25,6 +25,7 @@ only slower.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -34,6 +35,11 @@ import zipfile
 from dataclasses import dataclass, fields
 
 import numpy as np
+
+try:  # POSIX advisory locking for the persistent-counter interlock.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.memory.traffic import TrafficBreakdown
 from repro.prefetchers.base import PrefetcherStats
@@ -55,7 +61,14 @@ SCHEMA_VERSION = 3
 
 _SCHEMA_FILE = "schema.json"
 _COUNTERS_FILE = "counters.json"
+_COUNTERS_LOCK_FILE = "counters.lock"
 _TMP_PREFIX = ".tmp-"
+
+#: Temp files from crashed writers older than this are swept by
+#: :meth:`ArtifactStore.sweep_stale_temps` (``gc``/``clear`` call it).
+#: The age gate keeps a *live* writer's in-flight temp file safe from a
+#: concurrent sweep; override with ``REPRO_STORE_TMP_MAX_AGE_S``.
+_STALE_TEMP_SECONDS = 3600.0
 
 #: Errors that mean "this entry is unreadable", as opposed to bugs.
 #: ``FileNotFoundError`` is handled separately (a plain miss).
@@ -270,6 +283,7 @@ class StoreStats:
     corrupt_dropped: int = 0
     schema_invalidated: int = 0
     evictions: int = 0
+    stale_temps_swept: int = 0
 
     @property
     def hits(self) -> int:
@@ -551,9 +565,13 @@ class ArtifactStore:
     def gc(self, max_bytes: "int | None" = None) -> int:
         """Evict least-recently-used entries until under ``max_bytes``.
 
-        Returns the number of entries evicted.  With no cap configured
-        and none given, this is a no-op.
+        Returns the number of entries evicted.  Orphaned temp files are
+        swept first (age-gated; see :meth:`sweep_stale_temps`) — they
+        evade the size accounting, so eviction alone could never
+        reclaim them.  With no cap configured and none given, nothing
+        further happens.
         """
+        self.sweep_stale_temps()
         cap = max_bytes if max_bytes is not None else self.max_bytes
         if cap is None:
             return 0
@@ -596,6 +614,37 @@ class ArtifactStore:
     def _counters_path(self) -> str:
         return os.path.join(self.root, _COUNTERS_FILE)
 
+    @contextlib.contextmanager
+    def _counters_lock(self):
+        """Advisory exclusive lock serializing counter read-modify-writes.
+
+        Taken on a *sidecar* file (``counters.lock``), never on the
+        counters file itself: the data file is replaced atomically on
+        every write, and a lock held on a replaced inode would not
+        exclude the next writer.  Only the counter RMW takes this lock —
+        artifact reads/writes stay lock-free (they are atomic renames
+        and need no interlock).  Yields False (and degrades to the old
+        best-effort behaviour) where ``fcntl`` or the lock file are
+        unavailable.
+        """
+        if fcntl is None:
+            yield False
+            return
+        try:
+            fd = os.open(
+                os.path.join(self.root, _COUNTERS_LOCK_FILE),
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+        except OSError:
+            yield False
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield True
+        finally:
+            os.close(fd)  # releases the flock
+
     def counters(self) -> "dict[str, int]":
         """Store-lifetime counters (e.g. runner bundle skips).
 
@@ -619,33 +668,99 @@ class ArtifactStore:
         }
 
     def bump_counter(self, name: str, delta: int = 1) -> None:
-        """Increment a persistent counter (read-modify-write; a lost
-        race under-counts, which is acceptable for telemetry)."""
+        """Increment a persistent counter under the counter interlock."""
         self.bump_counters({name: delta})
 
     def bump_counters(self, deltas: "dict[str, int]") -> None:
-        """Increment several persistent counters in one write.
+        """Increment several persistent counters in one locked write.
 
-        The runner folds a whole fan-out's shared-memory counters in a
-        single read-modify-write instead of one file rewrite per name;
+        The whole read-modify-write holds the advisory counter lock, so
+        concurrent writers — daemon request handlers, pool workers, and
+        parallel CLI runs sharing one store — serialize and never lose
+        increments.  The runner folds a whole fan-out's shared-memory
+        counters in a single RMW instead of one file rewrite per name;
         zero deltas are skipped.
         """
         deltas = {name: d for name, d in deltas.items() if d}
         if not deltas:
             return
-        counters = self.counters()
-        for name, delta in deltas.items():
-            counters[name] = counters.get(name, 0) + delta
-        try:
-            self._atomic_write_bytes(
-                self._counters_path(),
-                json.dumps(counters, sort_keys=True).encode(),
-            )
-        except OSError:
-            self.stats.write_errors += 1
+        with self._counters_lock():
+            counters = self.counters()
+            for name, delta in deltas.items():
+                counters[name] = counters.get(name, 0) + delta
+            try:
+                self._atomic_write_bytes(
+                    self._counters_path(),
+                    json.dumps(counters, sort_keys=True).encode(),
+                )
+            except OSError:
+                self.stats.write_errors += 1
+
+    def buffered_counters(self, flush_every: int = 16) -> "CounterBuffer":
+        """A :class:`CounterBuffer` batching bumps against this store."""
+        return CounterBuffer(self, flush_every=flush_every)
+
+    # ------------------------------------------------------------------
+    # Stale-temp sweeping and whole-store clearing.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stale_temp_age_from_env() -> float:
+        raw = os.environ.get("REPRO_STORE_TMP_MAX_AGE_S")
+        if raw:
+            try:
+                return float(raw)
+            except ValueError:
+                pass
+        return _STALE_TEMP_SECONDS
+
+    def sweep_stale_temps(
+        self, max_age_seconds: "float | None" = None
+    ) -> int:
+        """Remove orphaned ``.tmp-*`` files from crashed writers.
+
+        Temp files are invisible to :meth:`entries` (and therefore to
+        :meth:`gc`, :meth:`total_bytes`, and the size cap), so a writer
+        that died between ``mkstemp`` and ``os.replace`` used to leak
+        its temp forever.  This sweep — invoked from :meth:`gc` and
+        :meth:`clear` — unlinks temps older than the age gate
+        (default 1h, ``REPRO_STORE_TMP_MAX_AGE_S``); younger ones are
+        presumed to belong to a live in-flight writer and survive.
+        Swept files are tallied in the persistent ``stale_temps_swept``
+        counter so accumulation is observable in ``cache stats``.
+        """
+        if max_age_seconds is None:
+            max_age_seconds = self._stale_temp_age_from_env()
+        cutoff = time.time() - max_age_seconds
+        swept = 0
+        for directory in (self.root, self._traces_dir, self._results_dir):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.startswith(_TMP_PREFIX):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    if os.stat(path).st_mtime >= cutoff:
+                        continue
+                    os.unlink(path)
+                except OSError:
+                    continue
+                swept += 1
+        if swept:
+            self.stats.stale_temps_swept += swept
+            self.bump_counter("stale_temps_swept", swept)
+        return swept
 
     def clear(self) -> int:
-        """Remove every entry (the store directory itself survives)."""
+        """Remove every entry (the store directory itself survives).
+
+        Stale temp files are swept too (age-gated, so a concurrent
+        writer's in-flight temp survives); they do not count toward the
+        returned entry total.
+        """
         removed = 0
         for entry in self.entries():
             try:
@@ -653,6 +768,7 @@ class ArtifactStore:
             except OSError:
                 continue
             removed += 1
+        self.sweep_stale_temps()
         self._running_total = 0
         return removed
 
@@ -677,3 +793,53 @@ class ArtifactStore:
                 else 0.0
             ),
         }
+
+
+class CounterBuffer:
+    """In-memory accumulator batching persistent-counter bumps.
+
+    Every :meth:`ArtifactStore.bump_counters` call is a locked
+    read-modify-write of ``counters.json``; a busy writer (the service
+    daemon tallies several counters per request) would serialize on
+    that file.  A buffer folds deltas in memory and flushes them as
+    *one* locked RMW every ``flush_every`` bump calls — conservation
+    still holds because the flush goes through the same interlock.
+    Callers must :meth:`flush` (or use the buffer as a context manager)
+    before exiting, or the tail of the batch is lost.
+    """
+
+    def __init__(
+        self, store: ArtifactStore, flush_every: int = 16
+    ) -> None:
+        self.store = store
+        self.flush_every = max(1, flush_every)
+        self._pending: "dict[str, int]" = {}
+        self._bumps_since_flush = 0
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        self.bump_many({name: delta})
+
+    def pending(self) -> "dict[str, int]":
+        """Deltas accumulated since the last flush (observability)."""
+        return dict(self._pending)
+
+    def bump_many(self, deltas: "dict[str, int]") -> None:
+        for name, delta in deltas.items():
+            if delta:
+                self._pending[name] = self._pending.get(name, 0) + delta
+        self._bumps_since_flush += 1
+        if self._bumps_since_flush >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write all pending deltas in one locked read-modify-write."""
+        pending, self._pending = self._pending, {}
+        self._bumps_since_flush = 0
+        if pending:
+            self.store.bump_counters(pending)
+
+    def __enter__(self) -> "CounterBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.flush()

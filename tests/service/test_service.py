@@ -1,0 +1,346 @@
+"""Simulation-as-a-service: daemon, single-flight, client.
+
+Every test boots a real daemon (asyncio loop in a background thread,
+ephemeral port) against a per-test store and talks to it over actual
+HTTP through :class:`ServiceClient` — the same path ``repro client``
+uses.  Slow/failing executors are injected to pin timeout and retry
+semantics without waiting on real worker deaths.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    ServiceError,
+    job_from_spec,
+    serve_in_thread,
+    service_key,
+)
+from repro.service.client import job_spec
+from repro.sim.runner import PrefetcherKind, run_job
+from repro.sim.session import SimSession
+from repro.sim.store import ArtifactStore
+
+
+def _spec(seed: int = 7, workload: str = "web-apache", **extra) -> dict:
+    spec = job_spec(workload, scale="test", cores=2, seed=seed)
+    spec.update(extra)
+    return spec
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        port=0,
+        store_dir=str(tmp_path / "store"),
+        timeout_s=30.0,
+        retries=1,
+        max_concurrent=2,
+        counter_flush_every=1,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _session(config: ServiceConfig) -> SimSession:
+    return SimSession(enabled=True, store=ArtifactStore(config.store_dir))
+
+
+# ----------------------------------------------------------------------
+# Keys and specs (no daemon needed).
+# ----------------------------------------------------------------------
+
+
+def test_service_key_is_stable_and_spelling_insensitive():
+    base = service_key(job_from_spec(_spec()))
+    assert base == service_key(job_from_spec(_spec()))
+    assert base != service_key(job_from_spec(_spec(seed=8)))
+    assert base != service_key(job_from_spec(_spec(kind="baseline")))
+    # Mix spellings canonicalize through trace_key().
+    doubled = service_key(job_from_spec(_spec(workload="mix:2xoltp-db2")))
+    spelled = service_key(
+        job_from_spec(_spec(workload="mix:oltp-db2+oltp-db2"))
+    )
+    assert doubled == spelled
+
+
+def test_job_from_spec_rejects_malformed_specs():
+    with pytest.raises(ValueError, match="workload"):
+        job_from_spec(_spec(workload="not-a-workload"))
+    with pytest.raises(ValueError, match="scale"):
+        job_from_spec(_spec(scale="galactic"))
+    with pytest.raises(ValueError):
+        job_from_spec(_spec(kind="psychic"))
+    with pytest.raises(ValueError, match="stms_overrides"):
+        job_from_spec(_spec(stms_overrides=[1, 2]))
+    with pytest.raises(ValueError, match="JSON object"):
+        job_from_spec("just a string")
+
+
+def test_job_from_spec_round_trips_fields():
+    job = job_from_spec(
+        _spec(stms_overrides={"sampling_probability": 0.5}, cores=2)
+    )
+    assert job.kind is PrefetcherKind.STMS
+    assert job.scale == "test"
+    assert job.stms_overrides == (("sampling_probability", 0.5),)
+
+
+# ----------------------------------------------------------------------
+# Warm path: results already in the shared store.
+# ----------------------------------------------------------------------
+
+
+def test_warm_submit_served_from_store_without_launching(tmp_path):
+    config = _config(tmp_path)
+    # Populate the store out-of-band, as a sweep run would have.
+    warm_session = _session(config)
+    run_job(job_from_spec(_spec()), warm_session)
+    daemon = ServiceDaemon(config)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        response = client.submit(_spec())
+        assert response["state"] == "done"
+        assert response["warm"] is True
+        assert response["result"]["schema"]  # the stored record, inline
+        stats = client.stats()
+    assert stats["singleflight"] == {"launched": 0, "coalesced": 0}
+    assert stats["counters"]["service_warm_hits"] == 1
+    assert "service_cold_misses" not in stats["counters"]
+
+
+def test_cold_result_write_back_warms_other_sessions(tmp_path):
+    """A service-computed result is a store hit for plain sessions."""
+    config = _config(tmp_path)
+    daemon = ServiceDaemon(config)
+    with serve_in_thread(daemon):
+        response = ServiceClient(daemon.url).submit(_spec(seed=11))
+    assert response["state"] == "done"
+    assert response["warm"] is False
+    fresh = _session(config)
+    before = fresh.store.stats.result_hits
+    run_job(job_from_spec(_spec(seed=11)), fresh)
+    assert fresh.store.stats.result_hits == before + 1
+
+
+# ----------------------------------------------------------------------
+# Cold path: single-flight, timeout, retry.
+# ----------------------------------------------------------------------
+
+
+def test_cold_single_flight_runs_one_simulation_for_two_clients(tmp_path):
+    config = _config(tmp_path)
+    session = _session(config)
+    executions = []
+    release = threading.Event()
+
+    def executor(job):
+        executions.append(job)
+        # Hold the flight open until both clients have joined it.
+        assert release.wait(10.0)
+        return run_job(job, session)
+
+    daemon = ServiceDaemon(config, session=session, executor=executor)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        spec = _spec(seed=23)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(client.submit, spec) for _ in range(2)]
+            # Both requests must be in the daemon before the (single)
+            # simulation is allowed to finish.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                counters = client.stats()["counters"]
+                if counters.get("service_single_flight_coalesced"):
+                    break
+                time.sleep(0.02)
+            release.set()
+            responses = [future.result(timeout=30) for future in futures]
+        payloads = [client.fetch_bytes(spec) for _ in range(2)]
+        stats = client.stats()
+    # Exactly one simulation ran; both clients got the same answer.
+    assert len(executions) == 1
+    assert [r["state"] for r in responses] == ["done", "done"]
+    assert responses[0]["result"] == responses[1]["result"]
+    assert payloads[0] == payloads[1]  # bit-identical stored record
+    assert stats["singleflight"] == {"launched": 1, "coalesced": 1}
+    assert stats["counters"]["service_single_flight_launched"] == 1
+    assert stats["counters"]["service_single_flight_coalesced"] == 1
+    assert stats["counters"]["service_simulations"] == 1
+
+
+def test_waiter_timeout_abandons_without_cancelling_the_flight(tmp_path):
+    config = _config(tmp_path)
+    session = _session(config)
+    release = threading.Event()
+
+    def executor(job):
+        assert release.wait(10.0)
+        return run_job(job, session)
+
+    daemon = ServiceDaemon(config, session=session, executor=executor)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        spec = _spec(seed=31)
+        response = client.submit(spec, timeout_s=0.2)
+        # This waiter gave up...
+        assert response["state"] == "running"
+        assert response["timed_out"] is True
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch(spec)
+        assert excinfo.value.status == 404
+        # ...but the flight keeps running and completes for everyone.
+        release.set()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            status = client.status(spec)
+            if status["state"] == "done":
+                break
+            time.sleep(0.05)
+        assert status["state"] == "done"
+        record = client.fetch(spec)
+        stats = client.stats()
+    assert record["schema"]
+    assert stats["counters"]["service_timeouts"] == 1
+    assert stats["counters"]["service_simulations"] == 1
+
+
+def test_retry_after_worker_death_then_success(tmp_path):
+    config = _config(tmp_path, retries=1)
+    session = _session(config)
+    attempts = []
+
+    def executor(job):
+        attempts.append(job)
+        if len(attempts) == 1:
+            raise RuntimeError("worker died")
+        return run_job(job, session)
+
+    daemon = ServiceDaemon(config, session=session, executor=executor)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        response = client.submit(_spec(seed=41))
+        status = client.status(_spec(seed=41))
+        stats = client.stats()
+    assert response["state"] == "done"
+    assert len(attempts) == 2
+    assert status["attempts"] == 2
+    assert stats["counters"]["service_worker_failures"] == 1
+    assert stats["counters"]["service_retries"] == 1
+    assert stats["counters"]["service_simulations"] == 1
+
+
+def test_failure_after_retry_budget_reports_and_then_retries_fresh(
+    tmp_path,
+):
+    config = _config(tmp_path, retries=1)
+    session = _session(config)
+    attempts = []
+
+    def executor(job):
+        attempts.append(job)
+        if len(attempts) <= 2:
+            raise RuntimeError("worker died")
+        return run_job(job, session)
+
+    daemon = ServiceDaemon(config, session=session, executor=executor)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        spec = _spec(seed=43)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec)
+        assert excinfo.value.status == 500
+        assert "2 attempts" in str(excinfo.value)
+        assert client.status(spec)["state"] == "failed"
+        # The settled flight left the inflight table, so a later
+        # request launches a fresh computation — which now succeeds.
+        response = client.submit(spec)
+        stats = client.stats()
+    assert len(attempts) == 3
+    assert response["state"] == "done"
+    assert stats["singleflight"]["launched"] == 2
+    assert stats["counters"]["service_worker_failures"] == 2
+
+
+def test_no_wait_submit_returns_running_then_completes(tmp_path):
+    config = _config(tmp_path)
+    daemon = ServiceDaemon(config)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        spec = _spec(seed=47)
+        response = client.submit(spec, wait=False)
+        assert response["state"] == "running"
+        assert response["key"] == service_key(job_from_spec(spec))
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status(spec)["state"] == "done":
+                break
+            time.sleep(0.05)
+        record = client.fetch(spec)
+    assert record["schema"]
+
+
+# ----------------------------------------------------------------------
+# HTTP surface: errors, GET routes, health, stats.
+# ----------------------------------------------------------------------
+
+
+def test_http_surface_errors_and_get_routes(tmp_path):
+    config = _config(tmp_path)
+    daemon = ServiceDaemon(config)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        assert client.health() is True
+        assert client.wait_until_ready(deadline_s=2.0)
+        # Malformed spec -> 400 with the ValueError's message.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(_spec(workload="nope"))
+        assert excinfo.value.status == 400
+        assert "unknown workload" in str(excinfo.value)
+        # Unknown endpoint -> 404; bad JSON -> 400.
+        status, _ = client._request("GET", "/nope")
+        assert status == 404
+        status, payload = client._request("POST", "/fetch", payload=None)
+        assert status == 400 or payload.get("error")
+        # Status by key for a never-seen key -> unknown, fetch -> 404.
+        assert client.status(_spec(seed=97))["state"] == "unknown"
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch(_spec(seed=97))
+        assert excinfo.value.status == 404
+        status, payload = client._request(
+            "GET", "/status/deadbeef"
+        )
+        assert (status, payload["state"]) == (200, "unknown")
+        stats = client.stats()
+    assert stats["inflight"] == 0
+    assert stats["counters"]["service_status_requests"] >= 2
+    assert stats["counters"]["service_submit_errors"] == 1
+
+
+def test_request_log_and_counters_persist_after_shutdown(tmp_path):
+    config = _config(tmp_path)
+    daemon = ServiceDaemon(config)
+    with serve_in_thread(daemon):
+        client = ServiceClient(daemon.url)
+        client.submit(_spec(seed=53))
+        client.submit(_spec(seed=53))  # second hit is warm
+    # Counters flushed to the store on stop(); a fresh store sees them.
+    counters = ArtifactStore(config.store_dir).counters()
+    assert counters["service_submit_requests"] == 2
+    assert counters["service_warm_hits"] == 1
+    assert counters["service_single_flight_launched"] == 1
+    assert counters["service_submit_ms_total"] >= 2
+    log_path = tmp_path / "store" / "service-log.jsonl"
+    lines = [
+        json.loads(line)
+        for line in log_path.read_text().splitlines()
+    ]
+    assert len(lines) == 2
+    assert {line["endpoint"] for line in lines} == {"submit"}
+    assert all(line["latency_ms"] > 0 for line in lines)

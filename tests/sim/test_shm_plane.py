@@ -214,14 +214,33 @@ def test_shard_groups_respects_min_cells():
 
 
 def test_shard_min_cells_env(monkeypatch):
+    import warnings
+
     monkeypatch.delenv("REPRO_SHARD_MIN_CELLS", raising=False)
-    assert runner_module._shard_min_cells() == 2
-    monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", "6")
-    assert runner_module._shard_min_cells() == 6
-    monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", "0")
-    assert runner_module._shard_min_cells() == 2
-    monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", "banana")
-    assert runner_module._shard_min_cells() == 2
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # valid values never warn
+        assert runner_module._shard_min_cells() == 2
+        monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", "6")
+        assert runner_module._shard_min_cells() == 6
+        # Below the documented floor: clamped, not a misparse.
+        monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", "0")
+        assert runner_module._shard_min_cells() == 2
+
+
+@pytest.mark.parametrize("value", ["banana", "2.5", ""])
+def test_shard_min_cells_invalid_value_warns_once(monkeypatch, value):
+    import warnings
+
+    monkeypatch.setenv("REPRO_SHARD_MIN_CELLS", value)
+    monkeypatch.setattr(
+        runner_module, "_SHARD_MIN_CELLS_WARNING_EMITTED", False
+    )
+    with pytest.warns(RuntimeWarning, match="REPRO_SHARD_MIN_CELLS"):
+        assert runner_module._shard_min_cells() == 2
+    # Warned once per process, not once per sweep.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert runner_module._shard_min_cells() == 2
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,192 @@
+"""Concurrency hardening of the artifact store.
+
+The store used to be a single-writer private cache; the service daemon
+makes it a shared tier.  These tests pin the two bugs that graduated
+from "acceptable for telemetry" to real:
+
+* ``bump_counters`` was an unlocked read-modify-write — concurrent
+  writers silently lost increments.  The multi-process stress test
+  asserts exact conservation under N concurrent callers.
+* Orphaned ``.tmp-*`` files from crashed writers were invisible to
+  ``entries()`` and therefore never collected — they accumulated
+  forever and evaded the size cap.  The sweep tests assert the
+  age-gated reclaim from ``gc()`` and ``clear()``.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.sim.store import ArtifactStore, CounterBuffer
+
+BUMPS_PER_WRITER = 25
+WRITERS = 4
+
+
+def _hammer_counters(root: str, bumps: int, barrier) -> None:
+    """One writer process: open the store, bump counters ``bumps`` times."""
+    store = ArtifactStore(root)
+    barrier.wait()  # maximize overlap: all writers start together
+    for index in range(bumps):
+        # Mixed single/batched bumps: both go through the same RMW.
+        if index % 2:
+            store.bump_counter("stress", 1)
+        else:
+            store.bump_counters({"stress": 1, "stress_pairs": 1})
+
+
+def test_bump_counters_multiprocess_conservation(tmp_path):
+    """N concurrent writer processes lose zero increments."""
+    root = str(tmp_path / "store")
+    ArtifactStore(root)  # settle schema stamping before the race
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(WRITERS)
+    workers = [
+        context.Process(
+            target=_hammer_counters, args=(root, BUMPS_PER_WRITER, barrier)
+        )
+        for _ in range(WRITERS)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    counters = ArtifactStore(root).counters()
+    assert counters["stress"] == WRITERS * BUMPS_PER_WRITER
+    assert counters["stress_pairs"] == WRITERS * (
+        BUMPS_PER_WRITER - BUMPS_PER_WRITER // 2
+    )
+
+
+def test_bump_counters_zero_deltas_write_nothing(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    store.bump_counters({"a": 0, "b": 0})
+    assert not os.path.exists(os.path.join(store.root, "counters.json"))
+
+
+def test_counter_lock_is_not_a_store_entry(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    store.bump_counter("a")
+    assert os.path.exists(os.path.join(store.root, "counters.lock"))
+    assert store.entries() == []
+    assert store.total_bytes() == 0
+
+
+# ----------------------------------------------------------------------
+# CounterBuffer: batching without losing conservation.
+# ----------------------------------------------------------------------
+
+
+def test_counter_buffer_folds_bumps_into_batched_writes(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    buffer = store.buffered_counters(flush_every=4)
+    assert isinstance(buffer, CounterBuffer)
+    for _ in range(3):
+        buffer.bump("hits")
+    # Below the threshold: nothing persisted yet, pending visible.
+    assert store.counters() == {}
+    assert buffer.pending() == {"hits": 3}
+    buffer.bump("hits")  # fourth bump crosses the threshold
+    assert store.counters() == {"hits": 4}
+    assert buffer.pending() == {}
+
+
+def test_counter_buffer_context_manager_flushes_tail(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    with store.buffered_counters(flush_every=100) as buffer:
+        buffer.bump_many({"a": 2, "b": 1, "zero": 0})
+    assert store.counters() == {"a": 2, "b": 1}
+
+
+def test_counter_buffer_flush_is_idempotent(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    buffer = store.buffered_counters()
+    buffer.bump("a")
+    buffer.flush()
+    buffer.flush()
+    assert store.counters() == {"a": 1}
+
+
+# ----------------------------------------------------------------------
+# Stale-temp sweeping.
+# ----------------------------------------------------------------------
+
+
+def _plant_temp(directory: str, name: str, age_seconds: float) -> str:
+    path = os.path.join(directory, name)
+    with open(path, "wb") as handle:
+        handle.write(b"orphan")
+    stamp = time.time() - age_seconds
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_gc_sweeps_stale_temps_but_keeps_live_ones(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    stale_trace = _plant_temp(store.root + "/traces", ".tmp-dead", 7200)
+    stale_result = _plant_temp(store.root + "/results", ".tmp-gone", 7200)
+    live = _plant_temp(store.root + "/traces", ".tmp-live", 10)
+    # Invisible to the entry listing (that's the bug: they never aged
+    # out), so only the sweep can reclaim them.
+    assert store.entries() == []
+    swept = store.gc(max_bytes=1 << 30)
+    assert swept == 0  # nothing *evicted* — the cap is huge
+    assert not os.path.exists(stale_trace)
+    assert not os.path.exists(stale_result)
+    assert os.path.exists(live)
+    assert store.counters()["stale_temps_swept"] == 2
+    assert store.stats.stale_temps_swept == 2
+
+
+def test_clear_sweeps_stale_temps(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    stale = _plant_temp(store.root + "/results", ".tmp-x", 7200)
+    store.clear()
+    assert not os.path.exists(stale)
+    assert store.counters()["stale_temps_swept"] == 1
+
+
+def test_sweep_age_gate_env_override(tmp_path, monkeypatch):
+    store = ArtifactStore(str(tmp_path / "store"))
+    path = _plant_temp(store.root + "/traces", ".tmp-y", 120)
+    store.sweep_stale_temps()  # default 1h gate: too young
+    assert os.path.exists(path)
+    monkeypatch.setenv("REPRO_STORE_TMP_MAX_AGE_S", "60")
+    assert store.sweep_stale_temps() == 1
+    assert not os.path.exists(path)
+    monkeypatch.setenv("REPRO_STORE_TMP_MAX_AGE_S", "banana")
+    assert store.sweep_stale_temps() == 0  # malformed -> default gate
+
+
+def test_sweep_explicit_age_argument(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    _plant_temp(store.root + "/results", ".tmp-z", 30)
+    assert store.sweep_stale_temps(max_age_seconds=10) == 1
+
+
+def test_counters_survive_sweep_and_are_valid_json(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    store.bump_counters({"existing": 5})
+    _plant_temp(store.root + "/traces", ".tmp-a", 7200)
+    store.gc(max_bytes=1 << 30)
+    with open(os.path.join(store.root, "counters.json"), "rb") as handle:
+        raw = json.load(handle)
+    assert raw == {"existing": 5, "stale_temps_swept": 1}
+
+
+@pytest.mark.parametrize("writers", [2, 6])
+def test_buffered_and_direct_writers_conserve(tmp_path, writers):
+    """Buffered flushes and direct bumps interleave without loss."""
+    store = ArtifactStore(str(tmp_path / "store"))
+    buffers = [store.buffered_counters(flush_every=3) for _ in range(writers)]
+    for round_index in range(9):
+        for buffer in buffers:
+            buffer.bump("mixed")
+        store.bump_counter("mixed")
+    for buffer in buffers:
+        buffer.flush()
+    assert store.counters()["mixed"] == 9 * (writers + 1)
