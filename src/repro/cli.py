@@ -74,14 +74,16 @@ def _session_scope(args: argparse.Namespace):
     """Install the CLI-selected session (store + enabled) globally.
 
     ``--no-cache`` (or ``REPRO_SIM_CACHE=0``) disables both cache tiers;
-    otherwise the artifact store at ``--store-dir`` backs the session.
-    The choice is exported through the environment so pool workers of
-    the parallel runner join the same store, and both the environment
-    and the previous global session are restored on exit.
+    otherwise the artifact store at ``--store-dir`` backs the session,
+    optionally read-through/write-back against a remote peer
+    (``--remote-url`` or ``REPRO_REMOTE_URL``).  The choice is exported
+    through the environment so pool workers of the parallel runner join
+    the same store (and remote), and both the environment and the
+    previous global session are restored on exit.
     """
     saved = {
         key: os.environ.get(key)
-        for key in ("REPRO_SIM_CACHE", "REPRO_STORE_DIR")
+        for key in ("REPRO_SIM_CACHE", "REPRO_STORE_DIR", "REPRO_REMOTE_URL")
     }
     no_cache = (
         getattr(args, "no_cache", False)
@@ -93,11 +95,22 @@ def _session_scope(args: argparse.Namespace):
     else:
         store_dir = getattr(args, "store_dir", None) or default_store_dir()
         os.environ["REPRO_STORE_DIR"] = store_dir
+        remote_url = getattr(args, "remote_url", None)
+        if remote_url:
+            os.environ["REPRO_REMOTE_URL"] = remote_url
         session = SimSession(enabled=True, store=ArtifactStore(store_dir))
     previous = set_session(session)
     try:
         yield session
     finally:
+        store = session.store
+        if store is not None and store.remote is not None:
+            # Drain queued write-backs before the process exits, fold
+            # the tier's counters into this run's stats, and publish
+            # them persistently for ``cache stats``.
+            store.remote.flush()
+            session.fold_remote_stats()
+            store.close_remote()
         set_session(previous)
         for key, value in saved.items():
             if value is None:
@@ -396,6 +409,29 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
                 f"service {endpoint} mean latency",
                 f"{ms_total / requests:.0f}ms over {requests} requests",
             ])
+    # Remote-tier effectiveness: read-through hit rate against the
+    # fleet's shared peer, plus outage behaviour (errors are failed
+    # requests, skips are requests the open breaker never sent).
+    remote_reads = counters.get("remote_hits", 0) + counters.get(
+        "remote_misses", 0
+    )
+    if remote_reads:
+        hits = counters.get("remote_hits", 0)
+        rows.append([
+            "remote hit rate",
+            f"{hits / remote_reads:.0%} ({hits}/{remote_reads} probes)",
+        ])
+    if info.get("remote") is not None:
+        remote = info["remote"]
+        breaker = "open" if remote["breaker_open"] else "closed"
+        verified = {
+            True: "verified", False: "MISMATCH", None: "unverified"
+        }[remote["schema_verified"]]
+        rows.append([
+            "remote peer",
+            f"{remote['url']} (schema {verified}, breaker {breaker}, "
+            f"{remote['pending_writebacks']} pending write-backs)",
+        ])
     print(format_table(["field", "value"], rows, title="Artifact store"))
     return 0
 
@@ -465,6 +501,17 @@ def cmd_cache_warm(args: argparse.Namespace) -> int:
             f"store {store.root}: {store.stats.writes} writes, "
             f"{_format_size(store.total_bytes())} total"
         )
+    if (
+        stats.remote_hits or stats.remote_misses or stats.remote_errors
+        or stats.remote_skipped or stats.remote_writebacks
+    ):
+        print(
+            f"remote: {stats.remote_hits} remote hits, "
+            f"{stats.remote_misses} remote misses, "
+            f"{stats.remote_writebacks} write-backs, "
+            f"{stats.remote_errors} remote errors, "
+            f"{stats.remote_skipped} skipped"
+        )
     return 0
 
 
@@ -507,6 +554,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     print("repro service stopped")
+    return 0
+
+
+def cmd_store_serve(args: argparse.Namespace) -> int:
+    """Serve the artifact store to remote peers until interrupted."""
+    import asyncio
+
+    from repro.service import ObjectStoreDaemon
+
+    daemon = ObjectStoreDaemon(
+        args.store_dir or default_store_dir(),
+        host=args.host,
+        port=args.port,
+    )
+
+    async def _serve() -> None:
+        host, port = await daemon.start()
+        print(
+            f"repro object store listening on http://{host}:{port} "
+            f"(store {daemon.store.root})",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("repro object store stopped")
     return 0
 
 
@@ -656,6 +732,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(forces full recomputation)",
         )
         add_store_dir(sub)
+        add_remote_url(sub)
+
+    def add_remote_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--remote-url", default=None, metavar="URL",
+            help="remote object-store peer for read-through/write-back "
+            "(default: $REPRO_REMOTE_URL; REPRO_REMOTE=off disables)",
+        )
 
     def add_store_dir(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -800,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiment targets",
     )
     add_store_dir(sub)
+    add_remote_url(sub)
     sub.set_defaults(entry=cmd_cache_warm)
 
     sub = subparsers.add_parser(
@@ -829,6 +914,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_dir(sub)
     sub.set_defaults(entry=cmd_serve)
+
+    store = subparsers.add_parser(
+        "store",
+        help="serve the artifact store to remote peers",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    sub = store_sub.add_parser(
+        "serve",
+        help="run the object-store daemon (the fleet's remote tier)",
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: an ephemeral port, printed on start)",
+    )
+    add_store_dir(sub)
+    sub.set_defaults(entry=cmd_store_serve)
 
     client = subparsers.add_parser(
         "client", help="talk to a running simulation service daemon"

@@ -12,6 +12,14 @@ the next CI job, or a plain ``repro run``) is warm.
 
 :mod:`repro.service.client` is the matching stdlib-only synchronous
 client, used by the ``repro client`` CLI group and the tests.
+
+:mod:`repro.service.objectstore` serves the store itself to remote
+peers (``repro store serve``): the minimal ``GET/PUT/HEAD`` object
+protocol that :class:`repro.sim.remote.RemoteStore` read-throughs and
+write-backs against, sharing the daemon's asyncio HTTP plumbing
+(:mod:`repro.service.http`).  The simulation daemon advertises the
+same protocol, so one ``repro serve`` is both a compute service and a
+warm-tier peer.
 """
 
 from repro.service.client import ServiceClient, ServiceError
@@ -22,9 +30,15 @@ from repro.service.daemon import (
     serve_in_thread,
     service_key,
 )
+from repro.service.http import AsyncHttpServer, HttpError
+from repro.service.objectstore import ObjectProtocol, ObjectStoreDaemon
 from repro.service.singleflight import SingleFlight
 
 __all__ = [
+    "AsyncHttpServer",
+    "HttpError",
+    "ObjectProtocol",
+    "ObjectStoreDaemon",
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",

@@ -15,24 +15,36 @@ new dependencies) in front of the shared artifact store:
   record, byte-identical for every client because it is read straight
   from the store file the simulation wrote.
 * ``GET /healthz``, ``GET /stats`` — liveness and counters.
+* the whole **object protocol** (``GET/PUT/HEAD /trace/<digest>`` and
+  ``/result/<digest>``, ``GET /schema`` — see
+  :mod:`repro.service.objectstore`): every running simulation daemon
+  advertises its store as a remote object-store peer, so a CI fleet
+  can point ``REPRO_REMOTE_URL`` at it without running a second
+  process.
 
 Simulations run via :func:`asyncio.to_thread` (the session layer is
 thread-safe), bounded by a semaphore; every request is appended to a
 structured JSONL log beside the store, and per-endpoint latency /
 hit-rate counters persist through the store's counter file (shown by
-``repro cache stats``).
+``repro cache stats``).  The HTTP plumbing itself is shared with the
+object-store daemon (:mod:`repro.service.http`).
 """
 
 from __future__ import annotations
 
 import asyncio
-import contextlib
 import json
 import os
 import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.service.http import (
+    AsyncHttpServer,
+    HttpError as _HttpError,
+    serve_in_thread,
+)
+from repro.service.objectstore import ObjectProtocol, _max_body_bytes
 from repro.service.singleflight import SingleFlight
 from repro.sim.runner import (
     PrefetcherKind,
@@ -51,20 +63,19 @@ from repro.sim.store import (
 from repro.workloads.mix import is_mix
 from repro.workloads.suite import SCALES, WORKLOADS
 
-DEFAULT_PORT = 8023
-_MAX_BODY_BYTES = 1 << 20
-_READ_TIMEOUT_S = 30.0
-_REQUEST_LOG_FILE = "service-log.jsonl"
+__all__ = [
+    "DEFAULT_PORT",
+    "RequestLog",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "job_from_spec",
+    "serve_in_thread",
+    "service_key",
+]
 
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-}
+DEFAULT_PORT = 8023
+_REQUEST_LOG_FILE = "service-log.jsonl"
 
 
 def _env_float(name: str, default: float) -> float:
@@ -240,13 +251,17 @@ class RequestLog:
 # ----------------------------------------------------------------------
 
 
-class ServiceDaemon:
+class ServiceDaemon(AsyncHttpServer):
     """Long-running simulation service over one shared artifact store.
 
     ``executor`` (default: :func:`repro.sim.runner.run_job` through the
     daemon's session) is the synchronous callable that computes a cold
     job; tests inject failing/slow ones to exercise retry and timeout.
     """
+
+    #: Raised to the object daemon's bound: peers write whole trace
+    #: archives back through the advertised object protocol.
+    max_body_bytes = _max_body_bytes()
 
     def __init__(
         self,
@@ -255,6 +270,7 @@ class ServiceDaemon:
         executor=None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        super().__init__(host=self.config.host, port=self.config.port)
         if session is None:
             session = SimSession(
                 enabled=True,
@@ -277,120 +293,23 @@ class ServiceDaemon:
         self.counters = self.store.buffered_counters(
             self.config.counter_flush_every
         )
+        #: Peer advertisement: the object protocol served over this
+        #: daemon's store, tried before the service's own routes.
+        self.objects = ObjectProtocol(
+            self.store, self.config.counter_flush_every
+        )
         self.log = RequestLog(
             os.path.join(self.store.root, _REQUEST_LOG_FILE)
         )
         self._sem = asyncio.Semaphore(self.config.max_concurrent)
-        self._server: "asyncio.base_events.Server | None" = None
-        self.port: "int | None" = None
 
-    # ------------------------------------------------------------------
-    # Lifecycle.
-    # ------------------------------------------------------------------
-
-    async def start(self) -> "tuple[str, int]":
-        """Bind and start serving; returns (host, actual port)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        return self.config.host, self.port
-
-    async def stop(self) -> None:
-        """Stop accepting, flush counters and the request log."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    def on_stop(self) -> None:
+        """Flush counters and the request log on shutdown."""
         self.counters.flush()
+        self.objects.flush()
         self.log.close()
 
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        try:
-            await self._server.serve_forever()
-        finally:
-            await self.stop()
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.config.host}:{self.port or self.config.port}"
-
-    # ------------------------------------------------------------------
-    # HTTP plumbing.
-    # ------------------------------------------------------------------
-
-    async def _handle_connection(self, reader, writer) -> None:
-        started = time.perf_counter()
-        endpoint = "?"
-        try:
-            try:
-                method, path, body = await asyncio.wait_for(
-                    self._read_request(reader), _READ_TIMEOUT_S
-                )
-                endpoint = path.split("/", 2)[1] or "/"
-                status, payload = await self._route(method, path, body)
-            except _HttpError as error:
-                status, payload = error.status, {"error": str(error)}
-            except (
-                asyncio.TimeoutError,
-                asyncio.IncompleteReadError,
-                UnicodeDecodeError,
-                ValueError,
-            ) as error:
-                status, payload = 400, {"error": str(error) or "bad request"}
-            except Exception as error:  # noqa: BLE001 - last-resort 500
-                status, payload = 500, {
-                    "error": f"{type(error).__name__}: {error}"
-                }
-            latency_ms = (time.perf_counter() - started) * 1000.0
-            self._account(endpoint, status, latency_ms)
-            writer.write(self._render(status, payload))
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass  # client went away; nothing to answer
-        finally:
-            with contextlib.suppress(Exception):
-                writer.close()
-                await writer.wait_closed()
-
-    @staticmethod
-    async def _read_request(reader) -> "tuple[str, str, bytes]":
-        request_line = (await reader.readline()).decode("ascii").strip()
-        parts = request_line.split(" ")
-        if len(parts) != 3:
-            raise _HttpError(400, f"malformed request line {request_line!r}")
-        method, path = parts[0].upper(), parts[1]
-        length = 0
-        while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("ascii").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        if length > _MAX_BODY_BYTES:
-            raise _HttpError(413, "request body too large")
-        body = await reader.readexactly(length) if length else b""
-        return method, path, body
-
-    @staticmethod
-    def _render(status: int, payload) -> bytes:
-        if isinstance(payload, bytes):
-            body = payload
-        else:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        reason = _REASONS.get(status, "OK")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        )
-        return head.encode("ascii") + body
-
-    def _account(
+    def on_request(
         self, endpoint: str, status: int, latency_ms: float
     ) -> None:
         if endpoint not in ("submit", "status", "fetch"):
@@ -410,9 +329,16 @@ class ServiceDaemon:
     # Routing and endpoints.
     # ------------------------------------------------------------------
 
-    async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> "tuple[int, object]":
+    async def handle(
+        self, method: str, path: str, headers: "dict[str, str]",
+        body: bytes,
+    ) -> tuple:
+        # Object-protocol peer advertisement first: /schema, /trace/*,
+        # /result/* belong to the object store; everything else falls
+        # through to the service routes below.
+        response = self.objects.handle(method, path, headers, body)
+        if response is not None:
+            return response
         if method == "GET":
             if path == "/healthz":
                 return 200, {"ok": True}
@@ -632,55 +558,3 @@ class ServiceDaemon:
             raise _HttpError(
                 404, f"result for {key!r} evicted from the store"
             ) from None
-
-
-class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-# ----------------------------------------------------------------------
-# Thread-hosted serving (tests, and anything embedding the daemon).
-# ----------------------------------------------------------------------
-
-
-@contextlib.contextmanager
-def serve_in_thread(daemon: ServiceDaemon, ready_timeout: float = 10.0):
-    """Run a daemon's event loop in a background thread; yields it.
-
-    The daemon is started before the body runs and stopped (counters
-    flushed, log closed, loop torn down) when the block exits — the
-    in-process analogue of ``repro serve`` + SIGINT.
-    """
-    loop = asyncio.new_event_loop()
-    ready = threading.Event()
-    failure: "list[BaseException]" = []
-
-    def _host() -> None:
-        asyncio.set_event_loop(loop)
-        try:
-            loop.run_until_complete(daemon.start())
-        except BaseException as error:  # noqa: BLE001 - reported below
-            failure.append(error)
-            ready.set()
-            return
-        ready.set()
-        try:
-            loop.run_forever()
-        finally:
-            loop.run_until_complete(daemon.stop())
-            loop.close()
-
-    thread = threading.Thread(target=_host, name="repro-serve", daemon=True)
-    thread.start()
-    if not ready.wait(ready_timeout):
-        raise RuntimeError("service daemon failed to start in time")
-    if failure:
-        thread.join(ready_timeout)
-        raise failure[0]
-    try:
-        yield daemon
-    finally:
-        loop.call_soon_threadsafe(loop.stop)
-        thread.join(ready_timeout)

@@ -1,0 +1,248 @@
+"""Shared asyncio HTTP/1.1 plumbing for the repro daemons.
+
+Two daemons speak HTTP in this repo — the simulation service
+(:mod:`repro.service.daemon`) and the object-store peer
+(:mod:`repro.service.objectstore`) — and both are deliberately
+stdlib-only.  This module holds the plumbing they share: request
+parsing (with headers, which the object protocol needs for payload
+digests), response rendering, the per-connection error envelope, and
+the background-thread hosting helper the tests and CLI use.
+
+:class:`AsyncHttpServer` is the base: subclasses implement
+``handle(method, path, headers, body)`` and may override
+``on_request`` for accounting and ``max_body_bytes`` for upload-heavy
+protocols (trace archives are far larger than job specs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Raise inside a handler to answer with a specific status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(
+    reader, max_body_bytes: int
+) -> "tuple[str, str, dict[str, str], bytes]":
+    """Parse one request: (method, path, lowercase headers, body)."""
+    request_line = (await reader.readline()).decode("ascii").strip()
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: "dict[str, str]" = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("ascii").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0) or 0)
+    if length > max_body_bytes:
+        raise HttpError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def render_response(
+    status: int,
+    payload,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Serialize one response; dict payloads become JSON, bytes pass raw."""
+    import json
+
+    if isinstance(payload, bytes):
+        body = payload
+        content_type = "application/octet-stream"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        content_type = "application/json"
+    reason = _REASONS.get(status, "OK")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class AsyncHttpServer:
+    """Minimal asyncio HTTP server; subclasses implement ``handle``.
+
+    ``handle`` returns ``(status, payload)`` or ``(status, payload,
+    extra_headers)``; payloads that are ``bytes`` are sent raw (the
+    object protocol), anything else is JSON-encoded.  Exceptions map to
+    the usual envelope: :class:`HttpError` keeps its status, parse
+    failures are 400s, anything else is a 500 — a handler bug must
+    never take the daemon down.
+    """
+
+    #: Reject request bodies past this size; upload-heavy subclasses
+    #: (the object store accepts whole trace archives) raise it.
+    max_body_bytes: int = 1 << 20
+    read_timeout_s: float = 30.0
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.configured_port = port
+        self.port: "int | None" = None
+        self._server: "asyncio.base_events.Server | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start serving; returns (host, actual port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.configured_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.on_stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port or self.configured_port}"
+
+    # ------------------------------------------------------------------
+    # Hooks.
+    # ------------------------------------------------------------------
+
+    async def handle(
+        self, method: str, path: str, headers: "dict[str, str]",
+        body: bytes,
+    ) -> tuple:
+        raise NotImplementedError
+
+    def on_request(
+        self, endpoint: str, status: int, latency_ms: float
+    ) -> None:
+        """Per-request accounting hook (default: none)."""
+
+    def on_stop(self) -> None:
+        """Shutdown hook (flush counters, close logs...)."""
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        started = time.perf_counter()
+        endpoint = "?"
+        try:
+            extra_headers: "dict[str, str] | None" = None
+            try:
+                method, path, headers, body = await asyncio.wait_for(
+                    read_request(reader, self.max_body_bytes),
+                    self.read_timeout_s,
+                )
+                endpoint = path.split("/", 2)[1] or "/"
+                response = await self.handle(method, path, headers, body)
+                if len(response) == 3:
+                    status, payload, extra_headers = response
+                else:
+                    status, payload = response
+            except HttpError as error:
+                status, payload = error.status, {"error": str(error)}
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                UnicodeDecodeError,
+                ValueError,
+            ) as error:
+                status, payload = 400, {"error": str(error) or "bad request"}
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                status, payload = 500, {
+                    "error": f"{type(error).__name__}: {error}"
+                }
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self.on_request(endpoint, status, latency_ms)
+            writer.write(render_response(status, payload, extra_headers))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to answer
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+@contextlib.contextmanager
+def serve_in_thread(daemon, ready_timeout: float = 10.0):
+    """Run a daemon's event loop in a background thread; yields it.
+
+    Works for any object with async ``start``/``stop`` (both repro
+    daemons).  The daemon is started before the body runs and stopped
+    (counters flushed, logs closed, loop torn down) when the block
+    exits — the in-process analogue of ``repro serve`` + SIGINT.
+    """
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    failure: "list[BaseException]" = []
+
+    def _host() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(daemon.start())
+        except BaseException as error:  # noqa: BLE001 - reported below
+            failure.append(error)
+            ready.set()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(daemon.stop())
+            loop.close()
+
+    thread = threading.Thread(target=_host, name="repro-http", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise RuntimeError("daemon failed to start in time")
+    if failure:
+        thread.join(ready_timeout)
+        raise failure[0]
+    try:
+        yield daemon
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(ready_timeout)

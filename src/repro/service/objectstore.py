@@ -1,0 +1,189 @@
+"""The object-store daemon: serve an artifact store to remote peers.
+
+``repro store serve`` runs this over any store directory, turning a
+per-machine cache into the fleet's shared warm tier.  The protocol is
+the minimal one :class:`repro.sim.remote.RemoteStore` speaks:
+
+* ``GET /schema`` — the store's format stamp; clients verify it before
+  trusting any byte (mismatch = they treat this peer as cold).
+* ``GET/PUT/HEAD /trace/<digest>`` and ``/result/<digest>`` — raw
+  artifact bytes.  Responses and uploads carry an
+  ``X-Repro-Payload-Digest`` header; a PUT whose body does not match
+  its digest header is rejected (400) before touching disk, and
+  accepted uploads land via the store's atomic temp-file + rename, so
+  two hosts writing back the same digest race to a byte-identical
+  last-writer-wins, never a torn file.
+* ``GET /healthz``, ``GET /stats`` — liveness and persisted counters.
+
+:class:`ObjectProtocol` holds the store-backed handlers; the
+simulation service daemon (:mod:`repro.service.daemon`) routes the
+same handlers, so every running ``repro serve`` instance doubles as a
+remote object-store peer.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.service.http import AsyncHttpServer, HttpError
+from repro.sim.remote import DIGEST_HEADER, SCHEMA_HEADER, payload_digest
+from repro.sim.store import SCHEMA_VERSION, ArtifactStore
+
+#: Object keys are the store's hex digests; anything else is rejected
+#: before it can reach the filesystem layer.
+_DIGEST_RE = re.compile(r"^[0-9a-f]{8,64}$")
+_KINDS = ("trace", "result")
+
+#: Trace archives dwarf job specs; the object daemon accepts payloads
+#: up to this size (``REPRO_STORE_SERVE_MAX_MB`` overrides).
+_DEFAULT_MAX_BODY_MB = 256
+
+
+def _max_body_bytes() -> int:
+    raw = os.environ.get("REPRO_STORE_SERVE_MAX_MB")
+    if raw:
+        try:
+            return int(float(raw) * 1024 * 1024)
+        except ValueError:
+            pass
+    return _DEFAULT_MAX_BODY_MB * 1024 * 1024
+
+
+class ObjectProtocol:
+    """Store-backed handlers for the minimal object protocol.
+
+    ``handle`` returns ``None`` for paths outside the protocol, so a
+    host daemon can try these routes first and fall through to its own.
+    Counters are buffered against the store's persistent counter file
+    (``store_serve_*``), visible in ``repro cache stats``.
+    """
+
+    def __init__(self, store: ArtifactStore, counter_flush_every: int = 8):
+        self.store = store
+        self.counters = store.buffered_counters(counter_flush_every)
+
+    def _object_path(self, kind: str, digest: str) -> str:
+        if not _DIGEST_RE.match(digest):
+            raise HttpError(400, f"malformed object digest {digest!r}")
+        if kind == "trace":
+            return self.store.trace_path(digest)
+        return self.store.result_path(digest)
+
+    def handle(
+        self, method: str, path: str, headers: "dict[str, str]",
+        body: bytes,
+    ) -> "tuple | None":
+        if path == "/schema":
+            if method != "GET":
+                raise HttpError(405, "schema is read-only")
+            self.counters.bump("store_serve_schema_requests")
+            return 200, {"schema": SCHEMA_VERSION}, {
+                SCHEMA_HEADER: str(SCHEMA_VERSION)
+            }
+        parts = path.lstrip("/").split("/")
+        if len(parts) != 2 or parts[0] not in _KINDS:
+            return None
+        kind, digest = parts
+        target = self._object_path(kind, digest)
+        if method == "GET":
+            return self._get(target)
+        if method == "HEAD":
+            return self._head(target)
+        if method == "PUT":
+            return self._put(target, headers, body)
+        raise HttpError(405, f"unsupported method {method} for objects")
+
+    # ------------------------------------------------------------------
+
+    def _get(self, target: str) -> tuple:
+        try:
+            with open(target, "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            self.counters.bump("store_serve_misses")
+            raise HttpError(404, "no such object") from None
+        except OSError as error:
+            raise HttpError(500, f"object unreadable: {error}") from None
+        # Serving refreshes recency, exactly like a local read: the
+        # fleet's hot entries must not be the LRU victims.
+        self.store._touch(target)
+        self.counters.bump("store_serve_gets")
+        return 200, payload, {
+            DIGEST_HEADER: payload_digest(payload),
+            SCHEMA_HEADER: str(SCHEMA_VERSION),
+        }
+
+    def _head(self, target: str) -> tuple:
+        self.counters.bump("store_serve_heads")
+        if not os.path.exists(target):
+            return 404, b"", {SCHEMA_HEADER: str(SCHEMA_VERSION)}
+        return 200, b"", {SCHEMA_HEADER: str(SCHEMA_VERSION)}
+
+    def _put(
+        self, target: str, headers: "dict[str, str]", body: bytes
+    ) -> tuple:
+        expected = headers.get(DIGEST_HEADER.lower())
+        if expected is not None and payload_digest(body) != expected:
+            # Truncated or corrupted upload: reject before it can
+            # shadow a good entry on disk.
+            self.counters.bump("store_serve_bad_digests")
+            raise HttpError(400, "payload does not match its digest header")
+        try:
+            ArtifactStore._atomic_write_bytes(target, body)
+        except OSError as error:
+            raise HttpError(500, f"object unwritable: {error}") from None
+        self.store._auto_gc(target)
+        self.counters.bump("store_serve_puts")
+        return 200, {"stored": True, "bytes": len(body)}, {
+            DIGEST_HEADER: payload_digest(body),
+        }
+
+    def flush(self) -> None:
+        self.counters.flush()
+
+
+class ObjectStoreDaemon(AsyncHttpServer):
+    """``repro store serve``: the object protocol over one store."""
+
+    max_body_bytes = _max_body_bytes()
+
+    def __init__(
+        self,
+        store: "ArtifactStore | str",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: "int | None" = None,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        if isinstance(store, str):
+            # A served store is the fleet's remote; it must never chase
+            # another remote itself (REPRO_REMOTE_URL would self-loop).
+            store = ArtifactStore(store, remote=None)
+        self.store = store
+        self.objects = ObjectProtocol(store)
+        if max_body_bytes is not None:
+            self.max_body_bytes = max_body_bytes
+
+    async def handle(
+        self, method: str, path: str, headers: "dict[str, str]",
+        body: bytes,
+    ) -> tuple:
+        response = self.objects.handle(method, path, headers, body)
+        if response is not None:
+            return response
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "store": self.store.root}
+        if method == "GET" and path == "/stats":
+            persisted = self.store.counters()
+            for name, delta in self.objects.counters.pending().items():
+                persisted[name] = persisted.get(name, 0) + delta
+            return 200, {
+                "counters": persisted,
+                "schema": SCHEMA_VERSION,
+                "store": self.store.root,
+            }
+        raise HttpError(404, f"no such endpoint {path!r}")
+
+    def on_stop(self) -> None:
+        self.objects.flush()

@@ -1,0 +1,542 @@
+"""Remote object-store tier: read-through / write-back over HTTP.
+
+The artifact store's two tiers (session memory, local disk) are both
+per-machine; this module adds the third — a remote object store shared
+by a whole CI fleet and every developer machine, speaking a minimal
+HTTP protocol (``GET``/``PUT``/``HEAD`` ``/trace/<digest>`` and
+``/result/<digest>`` plus ``GET /schema``) over stdlib
+:mod:`http.client`.  The server side is
+:mod:`repro.service.objectstore` (``repro store serve``); the running
+simulation daemon advertises the same protocol, so any ``repro serve``
+instance doubles as a warm peer.
+
+Tier semantics, mirroring the paper's off-chip metadata argument (keep
+the shared copy in the cheap distant tier, promote on use):
+
+* **read-through** — a local-disk miss probes the remote; a hit is
+  written into the local tier first, so the promotion is paid once and
+  every later access is local.
+* **write-back** — local writes enqueue an asynchronous remote upload
+  (bounded retry + exponential backoff on a background thread); the
+  simulation never waits on the network.  Queued entries are *pinned*
+  against local GC until the flush lands.
+* **never corrupt, never stall** — the peer's ``/schema`` stamp is
+  verified before any byte is trusted (mismatch = the remote is
+  treated as permanently cold); payloads are digest-verified against
+  the ``X-Repro-Payload-Digest`` header, quarantined and refetched
+  once on mismatch; and a circuit breaker (N consecutive transport
+  failures opens the breaker for T seconds) turns a remote outage into
+  today's local-only behaviour with ``remote_errors`` /
+  ``remote_skipped`` counters instead of a stalled simulation.
+
+Knobs: ``REPRO_REMOTE_URL`` attaches the tier, ``REPRO_REMOTE=off``
+detaches it regardless, ``REPRO_REMOTE_TIMEOUT_S`` bounds each request,
+``REPRO_REMOTE_RETRIES`` bounds write-back re-attempts, and
+``REPRO_REMOTE_BREAKER_N`` / ``REPRO_REMOTE_BREAKER_COOLDOWN_S`` shape
+the breaker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, fields, replace
+from urllib.parse import urlsplit
+
+#: Response/request header carrying the blake2b digest of the payload
+#: bytes; the transport-integrity check on both directions.
+DIGEST_HEADER = "X-Repro-Payload-Digest"
+#: Response header echoing the peer store's schema stamp.
+SCHEMA_HEADER = "X-Repro-Schema"
+
+_DEFAULT_TIMEOUT_S = 5.0
+_DEFAULT_RETRIES = 2
+_DEFAULT_BREAKER_FAILURES = 3
+_DEFAULT_BREAKER_COOLDOWN_S = 30.0
+
+#: Transport failures (as opposed to clean 404 misses).
+_TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
+def payload_digest(data: bytes) -> str:
+    """Content digest of one object payload (transport integrity)."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return default
+
+
+def remote_enabled() -> bool:
+    """False when ``REPRO_REMOTE=off`` explicitly detaches the tier."""
+    return os.environ.get("REPRO_REMOTE", "").lower() not in (
+        "off", "0", "no", "false",
+    )
+
+
+@dataclass
+class RemoteConfig:
+    """Connection and resilience knobs for one remote peer."""
+
+    url: str
+    timeout_s: float = field(
+        default_factory=lambda: _env_float(
+            "REPRO_REMOTE_TIMEOUT_S", _DEFAULT_TIMEOUT_S
+        )
+    )
+    #: Write-back re-attempts after the first failure (reads refetch at
+    #: most once, on a digest mismatch).
+    retries: int = field(
+        default_factory=lambda: _env_int(
+            "REPRO_REMOTE_RETRIES", _DEFAULT_RETRIES
+        )
+    )
+    #: Consecutive transport failures that open the circuit breaker.
+    breaker_failures: int = field(
+        default_factory=lambda: _env_int(
+            "REPRO_REMOTE_BREAKER_N", _DEFAULT_BREAKER_FAILURES
+        )
+    )
+    #: Seconds the breaker stays open before the next probe.
+    breaker_cooldown_s: float = field(
+        default_factory=lambda: _env_float(
+            "REPRO_REMOTE_BREAKER_COOLDOWN_S",
+            _DEFAULT_BREAKER_COOLDOWN_S,
+        )
+    )
+    #: First write-back backoff; attempt ``i`` sleeps ``base * 2**i``.
+    backoff_base_s: float = 0.05
+
+
+@dataclass
+class RemoteStats:
+    """Per-handle counters of the remote tier's behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    #: Operations short-circuited without touching the network (breaker
+    #: open, or the peer's schema stamp mismatched ours).
+    skipped: int = 0
+    writebacks: int = 0
+    writeback_errors: int = 0
+    #: Payloads whose bytes did not match their digest header (dropped
+    #: before touching the local tier, refetched once).
+    quarantined: int = 0
+    schema_mismatches: int = 0
+    breaker_opens: int = 0
+
+    def snapshot(self) -> "dict[str, int]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class CircuitBreaker:
+    """N consecutive failures open the breaker for a cooldown period.
+
+    While open, callers skip the network entirely; after the cooldown
+    one probe is allowed through — success closes the breaker, failure
+    re-opens it for another full cooldown.  Not thread-safe by itself;
+    :class:`RemoteStore` serializes access under its own lock.
+    """
+
+    def __init__(self, failures: int, cooldown_s: float) -> None:
+        self.failures = max(1, failures)
+        self.cooldown_s = cooldown_s
+        self._consecutive = 0
+        self._opened_at: "float | None" = None
+
+    @property
+    def is_open(self) -> bool:
+        if self._opened_at is None:
+            return False
+        return (time.monotonic() - self._opened_at) < self.cooldown_s
+
+    def allow(self) -> bool:
+        """True when a request may try the network (closed or probing)."""
+        return not self.is_open
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._opened_at = None
+
+    def record_failure(self) -> bool:
+        """Count one failure; True when this one opened the breaker."""
+        self._consecutive += 1
+        if self._consecutive >= self.failures:
+            opened = self._opened_at is None or not self.is_open
+            self._opened_at = time.monotonic()
+            return opened
+        return False
+
+
+_STOP = object()
+
+
+class RemoteStore:
+    """HTTP client for one remote object-store peer.
+
+    All read methods degrade to ``None``/``False`` — the remote tier
+    can make a run warmer, never wronger or stuck.  Instances are
+    thread-safe: stats and breaker state are lock-guarded, HTTP I/O
+    runs outside the lock, and write-backs are processed by one
+    background thread per instance.
+    """
+
+    def __init__(
+        self,
+        config: "RemoteConfig | str",
+        schema: "int | None" = None,
+    ) -> None:
+        if isinstance(config, str):
+            config = RemoteConfig(url=config)
+        self.config = config
+        split = urlsplit(config.url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported remote URL {config.url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        if schema is None:
+            from repro.sim.store import SCHEMA_VERSION
+
+            schema = SCHEMA_VERSION
+        self.schema = schema
+        self.stats = RemoteStats()
+        self._lock = threading.Lock()
+        self._breaker = CircuitBreaker(
+            config.breaker_failures, config.breaker_cooldown_s
+        )
+        #: None = unverified, True = stamp matched, False = mismatch
+        #: (permanently cold — never trust a byte from this peer).
+        self._schema_ok: "bool | None" = None
+        self._queue: "queue.Queue" = queue.Queue()
+        self._writer: "threading.Thread | None" = None
+        #: Paths pinned against local GC until their write-back lands
+        #: (path -> number of queued uploads referencing it).
+        self._pinned: "dict[str, int]" = {}
+        self._pending = 0
+        self._drained = threading.Condition()
+        self._closed = False
+
+    @classmethod
+    def from_env(cls) -> "RemoteStore | None":
+        """A remote at ``$REPRO_REMOTE_URL`` unless ``REPRO_REMOTE=off``."""
+        if not remote_enabled():
+            return None
+        url = os.environ.get("REPRO_REMOTE_URL")
+        if not url:
+            return None
+        try:
+            return cls(RemoteConfig(url=url))
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> "tuple[int, dict[str, str], bytes]":
+        """One HTTP exchange; raises transport errors to the caller."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.config.timeout_s
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers or {})
+            response = connection.getresponse()
+            raw = b"" if method == "HEAD" else response.read()
+        finally:
+            connection.close()
+        lowered = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return response.status, lowered, raw
+
+    def _record_failure(self) -> None:
+        with self._lock:
+            self.stats.errors += 1
+            if self._breaker.record_failure():
+                self.stats.breaker_opens += 1
+
+    def _record_success(self) -> None:
+        with self._lock:
+            self._breaker.record_success()
+
+    def _gate(self) -> bool:
+        """Schema + breaker gate; True when an operation may proceed.
+
+        A skipped operation (open breaker or mismatched peer) counts in
+        ``stats.skipped``.  The schema handshake runs lazily, once per
+        verification outcome: a transport failure leaves the stamp
+        unverified (retried on the next operation), a mismatch is
+        permanent for this handle's lifetime.
+        """
+        with self._lock:
+            if self._schema_ok is False or not self._breaker.allow():
+                self.stats.skipped += 1
+                return False
+            verified = self._schema_ok
+        if verified:
+            return True
+        # Unverified: handshake outside the lock.
+        try:
+            status, _, raw = self._request("GET", "/schema")
+        except _TRANSPORT_ERRORS:
+            self._record_failure()
+            return False
+        if status != 200:
+            self._record_failure()
+            return False
+        try:
+            import json
+
+            stamped = json.loads(raw.decode("utf-8")).get("schema")
+        except (ValueError, UnicodeDecodeError):
+            self._record_failure()
+            return False
+        self._record_success()
+        with self._lock:
+            if stamped != self.schema:
+                self._schema_ok = False
+                self.stats.schema_mismatches += 1
+                self.stats.skipped += 1
+                return False
+            self._schema_ok = True
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads (the read-through path).
+    # ------------------------------------------------------------------
+
+    def fetch(self, kind: str, digest: str) -> "bytes | None":
+        """Download one object; None on miss, outage, or bad payload.
+
+        A payload whose bytes do not match the digest header is
+        quarantined (never returned, never written locally) and
+        refetched exactly once; a second bad copy counts as an error.
+        """
+        if not self._gate():
+            return None
+        for attempt in (0, 1):
+            try:
+                status, headers, raw = self._request(
+                    "GET", f"/{kind}/{digest}"
+                )
+            except _TRANSPORT_ERRORS:
+                self._record_failure()
+                return None
+            if status == 404:
+                self._record_success()
+                with self._lock:
+                    self.stats.misses += 1
+                return None
+            if status != 200:
+                self._record_failure()
+                return None
+            expected = headers.get(DIGEST_HEADER.lower())
+            if expected is not None and payload_digest(raw) != expected:
+                # Truncated or corrupted in flight: quarantine and
+                # refetch once; a repeat failure is a real error.
+                with self._lock:
+                    self.stats.quarantined += 1
+                if attempt == 0:
+                    continue
+                self._record_failure()
+                return None
+            self._record_success()
+            with self._lock:
+                self.stats.hits += 1
+            return raw
+        return None
+
+    def head(self, kind: str, digest: str) -> bool:
+        """True when the peer holds this object (no payload transfer)."""
+        if not self._gate():
+            return False
+        try:
+            status, _, _ = self._request("HEAD", f"/{kind}/{digest}")
+        except _TRANSPORT_ERRORS:
+            self._record_failure()
+            return False
+        self._record_success()
+        return status == 200
+
+    # ------------------------------------------------------------------
+    # Writes (the write-back path).
+    # ------------------------------------------------------------------
+
+    def put(self, kind: str, digest: str, payload: bytes) -> bool:
+        """Upload one object synchronously (one attempt, no retry)."""
+        return self._put_once(kind, digest, payload) == "ok"
+
+    def _put_once(self, kind: str, digest: str, payload: bytes) -> str:
+        """One upload attempt: ``ok``/``transient``/``permanent``/``skipped``."""
+        if not self._gate():
+            return "skipped"
+        try:
+            status, _, _ = self._request(
+                "PUT",
+                f"/{kind}/{digest}",
+                body=payload,
+                headers={DIGEST_HEADER: payload_digest(payload)},
+            )
+        except _TRANSPORT_ERRORS:
+            self._record_failure()
+            return "transient"
+        if 200 <= status < 300:
+            self._record_success()
+            with self._lock:
+                self.stats.writebacks += 1
+            return "ok"
+        if status >= 500:
+            self._record_failure()
+            return "transient"
+        # 4xx is the peer refusing this payload (size cap, digest
+        # mismatch...): the transport is fine, retrying is pointless.
+        self._record_success()
+        return "permanent"
+
+    def enqueue_writeback(self, kind: str, digest: str, path: str) -> bool:
+        """Queue an asynchronous upload of the artifact at ``path``.
+
+        The path is pinned (see :meth:`pending_paths`) until the
+        background writer finishes with it — landed or given up — so
+        local GC cannot evict an entry the fleet has not seen yet.
+        """
+        with self._lock:
+            if self._closed or self._schema_ok is False:
+                self.stats.skipped += 1
+                return False
+            self._pinned[path] = self._pinned.get(path, 0) + 1
+        with self._drained:
+            self._pending += 1
+        self._queue.put((kind, digest, path))
+        self._ensure_writer()
+        return True
+
+    def _ensure_writer(self) -> None:
+        with self._lock:
+            if self._writer is not None and self._writer.is_alive():
+                return
+            self._writer = threading.Thread(
+                target=self._writer_loop,
+                name="repro-remote-writeback",
+                daemon=True,
+            )
+            self._writer.start()
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            kind, digest, path = item
+            try:
+                self._write_back_one(kind, digest, path)
+            finally:
+                self._unpin(path)
+                with self._drained:
+                    self._pending -= 1
+                    self._drained.notify_all()
+
+    def _write_back_one(self, kind: str, digest: str, path: str) -> None:
+        """Bounded-retry upload with exponential backoff."""
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except OSError:
+            # Entry vanished (cleared/evicted by an explicit wipe)
+            # before the flush: nothing to upload.
+            with self._lock:
+                self.stats.writeback_errors += 1
+            return
+        for attempt in range(self.config.retries + 1):
+            if attempt:
+                time.sleep(
+                    self.config.backoff_base_s * (2 ** (attempt - 1))
+                )
+            outcome = self._put_once(kind, digest, payload)
+            if outcome in ("ok", "skipped"):
+                # Skips (open breaker, mismatched peer) already counted;
+                # the outage path must not also look like an error storm.
+                return
+            if outcome == "permanent":
+                break
+        with self._lock:
+            self.stats.writeback_errors += 1
+
+    def _unpin(self, path: str) -> None:
+        with self._lock:
+            count = self._pinned.get(path, 0) - 1
+            if count <= 0:
+                self._pinned.pop(path, None)
+            else:
+                self._pinned[path] = count
+
+    def pending_paths(self) -> "frozenset[str]":
+        """Local paths with an un-flushed write-back (GC must not evict)."""
+        with self._lock:
+            return frozenset(self._pinned)
+
+    def flush(self, timeout_s: float = 60.0) -> bool:
+        """Wait for the write-back queue to drain; False on timeout."""
+        with self._drained:
+            return self._drained.wait_for(
+                lambda: self._pending == 0, timeout=timeout_s
+            )
+
+    def close(self, flush_timeout_s: float = 60.0) -> None:
+        """Flush pending write-backs and stop the background writer."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.flush(flush_timeout_s)
+        if self._writer is not None and self._writer.is_alive():
+            self._queue.put(_STOP)
+            self._writer.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> "dict[str, int]":
+        with self._lock:
+            return self.stats.snapshot()
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "url": self.config.url,
+                "schema_verified": self._schema_ok,
+                "breaker_open": self._breaker.is_open,
+                "pending_writebacks": self._pending,
+                **{
+                    f"remote_{name}": value
+                    for name, value in self.stats.snapshot().items()
+                },
+            }

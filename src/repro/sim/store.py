@@ -44,6 +44,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.memory.traffic import TrafficBreakdown
 from repro.prefetchers.base import PrefetcherStats
 from repro.sim.metrics import CoverageCounts, SimResult
+from repro.sim.remote import RemoteStore
 from repro.workloads.trace import Trace
 
 #: Bump whenever the on-disk format of entries changes **or** the
@@ -312,16 +313,33 @@ class ArtifactStore:
     writers of the same key cannot produce a torn entry — the last
     complete write wins.  Reads refresh an entry's mtime, which is the
     recency signal :meth:`gc` evicts by.
+
+    ``remote`` attaches the optional third tier
+    (:class:`~repro.sim.remote.RemoteStore`): local-disk misses
+    read-through from the remote peer (the fetched bytes are installed
+    locally first, so promotion is paid once), and successful local
+    writes write-back to the peer asynchronously.  ``"auto"`` (the
+    default) attaches from ``$REPRO_REMOTE_URL`` unless
+    ``REPRO_REMOTE=off``.
     """
 
     def __init__(
-        self, root: str, max_bytes: "int | None" = None
+        self,
+        root: str,
+        max_bytes: "int | None" = None,
+        remote: "RemoteStore | None | str" = "auto",
     ) -> None:
         self.root = os.path.abspath(root)
         self.stats = StoreStats()
         if max_bytes is None:
             max_bytes = self._max_bytes_from_env()
         self.max_bytes = max_bytes
+        if remote == "auto":
+            remote = RemoteStore.from_env()
+        self.remote: "RemoteStore | None" = remote
+        #: Remote-stat values already folded into the persistent
+        #: counters (see :meth:`publish_remote_stats`).
+        self._remote_published: "dict[str, int]" = {}
         #: Running size estimate so capped stores don't rescan the
         #: whole directory on every write (may over-count overwrites;
         #: drift only triggers GC early, never lets the cap slip).
@@ -426,24 +444,88 @@ class ArtifactStore:
             pass
 
     # ------------------------------------------------------------------
+    # The remote tier (read-through / write-back).
+    # ------------------------------------------------------------------
+
+    def _read_through(self, kind: str, digest: str, path: str) -> bool:
+        """Promote one remote object into the local tier; False on miss.
+
+        The fetched bytes are installed at ``path`` via the same atomic
+        rename local writes use, then re-read through the normal
+        (corruption-tolerant) load path — a remote entry that is bad
+        *at rest* on the peer (its transport digest still matches) is
+        dropped locally exactly like a torn local file.
+        """
+        if self.remote is None:
+            return False
+        payload = self.remote.fetch(kind, digest)
+        if payload is None:
+            return False
+        try:
+            self._atomic_write_bytes(path, payload)
+        except OSError:
+            self.stats.write_errors += 1
+            return False
+        self._auto_gc(path)
+        return True
+
+    def _write_back(self, kind: str, digest: str, path: str) -> None:
+        """Queue an asynchronous upload of a just-written artifact."""
+        if self.remote is not None:
+            self.remote.enqueue_writeback(kind, digest, path)
+
+    def publish_remote_stats(self) -> None:
+        """Fold remote-tier stat deltas into the persistent counters.
+
+        Idempotent per delta: only growth since the last publication is
+        written, so CLI runs can publish at exit and ``cache stats``
+        reports fleet behaviour accumulated across processes.
+        """
+        if self.remote is None:
+            return
+        snapshot = self.remote.stats_snapshot()
+        deltas = {
+            f"remote_{name}": value - self._remote_published.get(name, 0)
+            for name, value in snapshot.items()
+        }
+        self._remote_published = snapshot
+        self.bump_counters({k: d for k, d in deltas.items() if d})
+
+    def close_remote(self, flush_timeout_s: float = 60.0) -> None:
+        """Flush queued write-backs, publish counters, detach the tier."""
+        if self.remote is None:
+            return
+        self.remote.close(flush_timeout_s)
+        self.publish_remote_stats()
+
+    # ------------------------------------------------------------------
     # Traces.
     # ------------------------------------------------------------------
 
     def load_trace(self, digest: str) -> "Trace | None":
-        """Read a persisted trace; None on miss or unreadable entry."""
+        """Read a persisted trace; None on miss or unreadable entry.
+
+        A local miss (or a dropped corrupt entry) read-throughs the
+        remote tier once before giving up.
+        """
         path = self.trace_path(digest)
-        try:
-            trace = Trace.load(path)
-        except FileNotFoundError:
-            self.stats.trace_misses += 1
-            return None
-        except _CORRUPT_ERRORS:
-            self._drop(path)
-            self.stats.trace_misses += 1
-            return None
-        self.stats.trace_hits += 1
-        self._touch(path)
-        return trace
+        for from_remote in (False, True):
+            try:
+                trace = Trace.load(path)
+            except FileNotFoundError:
+                pass
+            except _CORRUPT_ERRORS:
+                self._drop(path)
+            else:
+                self.stats.trace_hits += 1
+                self._touch(path)
+                return trace
+            if from_remote or not self._read_through(
+                "trace", digest, path
+            ):
+                break
+        self.stats.trace_misses += 1
+        return None
 
     def save_trace(self, digest: str, trace: Trace) -> bool:
         """Persist a trace atomically; False on I/O failure."""
@@ -463,6 +545,7 @@ class ArtifactStore:
                 pass
             return False
         self.stats.writes += 1
+        self._write_back("trace", digest, path)
         self._auto_gc(path)
         return True
 
@@ -470,19 +553,15 @@ class ArtifactStore:
     # Results.
     # ------------------------------------------------------------------
 
-    def load_result(self, digest: str) -> "SimResult | None":
-        """Read a persisted result; None on miss, corruption, or a
-        schema-version mismatch (stale entries invalidate themselves)."""
-        path = self.result_path(digest)
+    def _load_result_file(self, path: str) -> "SimResult | None":
+        """One local read attempt; drops unreadable/stale entries."""
         try:
             with open(path, "rb") as handle:
                 record = json.load(handle)
         except FileNotFoundError:
-            self.stats.result_misses += 1
             return None
         except _CORRUPT_ERRORS:
             self._drop(path)
-            self.stats.result_misses += 1
             return None
         if (
             not isinstance(record, dict)
@@ -491,17 +570,30 @@ class ArtifactStore:
         ):
             self._drop(path)
             self.stats.schema_invalidated += 1
-            self.stats.result_misses += 1
             return None
         try:
-            result = decode_result(record["payload"])
+            return decode_result(record["payload"])
         except _CORRUPT_ERRORS:
             self._drop(path)
-            self.stats.result_misses += 1
             return None
-        self.stats.result_hits += 1
-        self._touch(path)
-        return result
+
+    def load_result(self, digest: str) -> "SimResult | None":
+        """Read a persisted result; None on miss, corruption, or a
+        schema-version mismatch (stale entries invalidate themselves).
+        A local miss read-throughs the remote tier once."""
+        path = self.result_path(digest)
+        for from_remote in (False, True):
+            result = self._load_result_file(path)
+            if result is not None:
+                self.stats.result_hits += 1
+                self._touch(path)
+                return result
+            if from_remote or not self._read_through(
+                "result", digest, path
+            ):
+                break
+        self.stats.result_misses += 1
+        return None
 
     def save_result(self, digest: str, result: SimResult) -> bool:
         """Persist a result atomically; False on I/O failure."""
@@ -512,14 +604,16 @@ class ArtifactStore:
             "prefetcher": result.prefetcher,
             "payload": encode_result(result),
         }
+        path = self.result_path(digest)
         try:
             payload = json.dumps(record, default=_json_default).encode()
-            self._atomic_write_bytes(self.result_path(digest), payload)
+            self._atomic_write_bytes(path, payload)
         except OSError:
             self.stats.write_errors += 1
             return False
         self.stats.writes += 1
-        self._auto_gc(self.result_path(digest))
+        self._write_back("result", digest, path)
+        self._auto_gc(path)
         return True
 
     # ------------------------------------------------------------------
@@ -577,10 +671,19 @@ class ArtifactStore:
             return 0
         entries = self.entries()
         total = sum(entry.size_bytes for entry in entries)
+        # Entries queued for remote write-back are pinned: evicting one
+        # mid-queue would make the background upload ship a vanished
+        # file and silently drop the fleet's copy.
+        pinned = (
+            self.remote.pending_paths() if self.remote is not None
+            else frozenset()
+        )
         evicted = 0
         for entry in entries:  # oldest first
             if total <= cap:
                 break
+            if entry.path in pinned:
+                continue
             try:
                 os.unlink(entry.path)
             except OSError:
@@ -791,6 +894,10 @@ class ArtifactStore:
                 time.time() - min(e.mtime for e in entries)
                 if entries
                 else 0.0
+            ),
+            "remote": (
+                self.remote.describe() if self.remote is not None
+                else None
             ),
         }
 

@@ -1,0 +1,163 @@
+"""The object-store daemon and the protocol surface it serves.
+
+Client-side behaviour (read-through, write-back, breaker) lives in
+``tests/sim/test_remote.py``; these tests pin the *server* contract:
+the schema stamp, digest headers on both directions, upload rejection,
+path hygiene, and the simulation daemon advertising the same protocol.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import ObjectStoreDaemon, ServiceConfig, ServiceDaemon
+from repro.service import serve_in_thread
+from repro.sim.remote import DIGEST_HEADER, SCHEMA_HEADER, payload_digest
+from repro.sim.store import SCHEMA_VERSION, ArtifactStore, result_digest
+
+from tests.sim.test_store import make_result
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    server = ObjectStoreDaemon(str(tmp_path / "store"))
+    with serve_in_thread(server):
+        yield server
+
+
+def _request(daemon, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection(
+        daemon.host, daemon.port, timeout=10
+    )
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        raw = b"" if method == "HEAD" else response.read()
+        lowered = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return response.status, lowered, raw
+    finally:
+        connection.close()
+
+
+class TestObjectProtocol:
+    def test_schema_endpoint_stamps_and_is_read_only(self, daemon):
+        status, headers, raw = _request(daemon, "GET", "/schema")
+        assert status == 200
+        assert json.loads(raw)["schema"] == SCHEMA_VERSION
+        assert headers[SCHEMA_HEADER.lower()] == str(SCHEMA_VERSION)
+        status, _, _ = _request(daemon, "PUT", "/schema", body=b"{}")
+        assert status == 405
+
+    def test_get_serves_digest_header_and_head_probes(self, daemon):
+        digest = result_digest(("served",))
+        daemon.store.save_result(digest, make_result())
+        status, headers, raw = _request(daemon, "GET", f"/result/{digest}")
+        assert status == 200
+        assert headers[DIGEST_HEADER.lower()] == payload_digest(raw)
+        assert headers["content-type"] == "application/octet-stream"
+        status, _, _ = _request(daemon, "HEAD", f"/result/{digest}")
+        assert status == 200
+        status, _, _ = _request(
+            daemon, "HEAD", f"/result/{result_digest(('no',))}"
+        )
+        assert status == 404
+
+    def test_get_missing_is_404(self, daemon):
+        status, _, _ = _request(
+            daemon, "GET", f"/trace/{result_digest(('no',))}"
+        )
+        assert status == 404
+
+    def test_put_round_trips_and_is_digest_checked(self, daemon):
+        digest = result_digest(("up",))
+        payload = b"payload-bytes"
+        status, headers, _ = _request(
+            daemon, "PUT", f"/result/{digest}", body=payload,
+            headers={DIGEST_HEADER: payload_digest(payload)},
+        )
+        assert status == 200
+        status, _, raw = _request(daemon, "GET", f"/result/{digest}")
+        assert status == 200 and raw == payload
+
+    def test_put_with_wrong_digest_rejected_before_disk(self, daemon):
+        digest = result_digest(("rej",))
+        status, _, raw = _request(
+            daemon, "PUT", f"/result/{digest}", body=b"corrupted",
+            headers={DIGEST_HEADER: "0" * 32},
+        )
+        assert status == 400
+        status, _, _ = _request(daemon, "GET", f"/result/{digest}")
+        assert status == 404  # nothing touched disk
+
+    def test_malformed_digests_rejected(self, daemon):
+        for bad in ("..%2f..%2fetc", "UPPER", "xx", "a" * 65):
+            status, _, _ = _request(daemon, "GET", f"/result/{bad}")
+            assert status in (400, 404)
+            assert "error" in json.loads(
+                _request(daemon, "GET", f"/result/{bad}")[2]
+            )
+        # Definitely-traversal shapes are a hard 400.
+        status, _, _ = _request(daemon, "GET", "/result/deadbeef%2e%2e")
+        assert status == 400
+
+    def test_unknown_kind_is_404(self, daemon):
+        status, _, _ = _request(daemon, "GET", "/blob/deadbeefdeadbeef")
+        assert status == 404
+
+    def test_stats_counts_protocol_activity(self, daemon):
+        digest = result_digest(("counted",))
+        payload = b"counted-bytes"
+        _request(
+            daemon, "PUT", f"/result/{digest}", body=payload,
+            headers={DIGEST_HEADER: payload_digest(payload)},
+        )
+        _request(daemon, "GET", f"/result/{digest}")
+        _request(daemon, "GET", f"/result/{result_digest(('miss',))}")
+        status, _, raw = _request(daemon, "GET", "/stats")
+        assert status == 200
+        counters = json.loads(raw)["counters"]
+        assert counters["store_serve_puts"] == 1
+        assert counters["store_serve_gets"] == 1
+        assert counters["store_serve_misses"] == 1
+
+    def test_healthz(self, daemon):
+        status, _, raw = _request(daemon, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(raw)["ok"] is True
+
+    def test_served_store_never_chases_a_remote(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_URL", "http://127.0.0.1:19999")
+        server = ObjectStoreDaemon(str(tmp_path / "loop"))
+        assert server.store.remote is None
+
+
+class TestServiceDaemonPeer:
+    """``repro serve`` doubles as an object-store peer."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        daemon = ServiceDaemon(
+            ServiceConfig(port=0, store_dir=str(tmp_path / "store"))
+        )
+        with serve_in_thread(daemon):
+            yield daemon
+
+    def test_advertises_schema_and_objects(self, service):
+        status, _, raw = _request(service, "GET", "/schema")
+        assert status == 200
+        assert json.loads(raw)["schema"] == SCHEMA_VERSION
+        digest = result_digest(("peer",))
+        service.store.save_result(digest, make_result())
+        status, headers, raw = _request(
+            service, "GET", f"/result/{digest}"
+        )
+        assert status == 200
+        assert headers[DIGEST_HEADER.lower()] == payload_digest(raw)
+
+    def test_service_routes_still_first_class(self, service):
+        status, _, raw = _request(service, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(raw)["ok"] is True

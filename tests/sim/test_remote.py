@@ -1,0 +1,479 @@
+"""The remote object-store tier: read-through, write-back, resilience.
+
+Every test runs against a *real* peer — an :class:`ObjectStoreDaemon`
+(or a deliberately misbehaving :class:`AsyncHttpServer` subclass) on an
+ephemeral port — exercising the same stdlib ``http.client`` transport
+production uses.  The guarantees pinned here:
+
+* a local miss read-throughs the peer and installs the bytes locally;
+  local writes write-back asynchronously and land byte-identical;
+* corrupted, truncated, or wrong-digest payloads are quarantined
+  (refetched once, never written locally);
+* a schema-mismatched peer is permanently cold — no byte trusted;
+* transport outages open the circuit breaker (local-only degradation,
+  counted, never raised) and the breaker recovers after its cooldown;
+* entries queued for write-back are pinned against local GC;
+* two processes writing back the same digest converge byte-identically.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.service import ObjectStoreDaemon, serve_in_thread
+from repro.service.http import AsyncHttpServer
+from repro.sim.remote import (
+    DIGEST_HEADER,
+    SCHEMA_HEADER,
+    CircuitBreaker,
+    RemoteConfig,
+    RemoteStore,
+    payload_digest,
+    remote_enabled,
+)
+from repro.sim.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    result_digest,
+    trace_digest,
+)
+
+from tests.conftest import make_trace
+from tests.sim.test_store import make_result
+
+
+def _remote(url: str, **overrides) -> RemoteStore:
+    """A RemoteStore with fast, deterministic resilience knobs."""
+    defaults = dict(
+        url=url,
+        timeout_s=5.0,
+        retries=1,
+        breaker_failures=3,
+        breaker_cooldown_s=30.0,
+        backoff_base_s=0.0,
+    )
+    defaults.update(overrides)
+    return RemoteStore(RemoteConfig(**defaults))
+
+
+def _store(tmp_path, name: str, remote: "RemoteStore | None"):
+    return ArtifactStore(str(tmp_path / name), remote=remote)
+
+
+@pytest.fixture()
+def peer(tmp_path):
+    """A real object-store daemon over its own store directory."""
+    daemon = ObjectStoreDaemon(str(tmp_path / "peer"))
+    with serve_in_thread(daemon):
+        yield daemon
+
+
+# ----------------------------------------------------------------------
+# Read-through and write-back against a real peer.
+# ----------------------------------------------------------------------
+
+
+class TestReadThroughWriteBack:
+    def test_trace_read_through_installs_locally(self, peer, tmp_path):
+        digest = trace_digest(("t",))
+        trace = make_trace([[1, 2, 3], [4, 5, 6]])
+        peer.store.save_trace(digest, trace)
+
+        local = _store(tmp_path, "local", _remote(peer.url))
+        loaded = local.load_trace(digest)
+        assert loaded is not None
+        assert [list(b) for b in loaded.blocks] == [[1, 2, 3], [4, 5, 6]]
+        assert local.remote.stats.hits == 1
+        # Promoted: the second read is purely local.
+        assert os.path.exists(local.trace_path(digest))
+        assert local.load_trace(digest) is not None
+        assert local.remote.stats.hits == 1
+
+    def test_result_read_through(self, peer, tmp_path):
+        digest = result_digest(("r",))
+        peer.store.save_result(digest, make_result())
+        local = _store(tmp_path, "local", _remote(peer.url))
+        loaded = local.load_result(digest)
+        assert loaded is not None
+        assert loaded.elapsed_cycles == make_result().elapsed_cycles
+        assert local.remote.stats.hits == 1
+
+    def test_miss_on_both_tiers_is_a_clean_none(self, peer, tmp_path):
+        local = _store(tmp_path, "local", _remote(peer.url))
+        assert local.load_result(result_digest(("absent",))) is None
+        assert local.remote.stats.misses == 1
+        assert local.remote.stats.errors == 0
+
+    def test_write_back_lands_byte_identical(self, peer, tmp_path):
+        local = _store(tmp_path, "local", _remote(peer.url))
+        digest = result_digest(("wb",))
+        assert local.save_result(digest, make_result())
+        assert local.remote.flush(timeout_s=30)
+        with open(local.result_path(digest), "rb") as handle:
+            local_bytes = handle.read()
+        with open(peer.store.result_path(digest), "rb") as handle:
+            peer_bytes = handle.read()
+        assert local_bytes == peer_bytes
+        assert local.remote.stats.writebacks == 1
+
+    def test_trace_write_back_round_trips(self, peer, tmp_path):
+        a = _store(tmp_path, "host-a", _remote(peer.url))
+        digest = trace_digest(("shared",))
+        assert a.save_trace(digest, make_trace([[7, 8, 9]]))
+        assert a.remote.flush(timeout_s=30)
+        b = _store(tmp_path, "host-b", _remote(peer.url))
+        loaded = b.load_trace(digest)
+        assert loaded is not None
+        assert list(loaded.blocks[0]) == [7, 8, 9]
+
+    def test_no_remote_is_todays_behaviour(self, tmp_path):
+        local = _store(tmp_path, "local", None)
+        assert local.load_result(result_digest(("x",))) is None
+        digest = result_digest(("y",))
+        assert local.save_result(digest, make_result())
+        assert local.load_result(digest) is not None
+
+
+# ----------------------------------------------------------------------
+# Hostile peers: corruption, truncation, wrong digests, wrong schema.
+# ----------------------------------------------------------------------
+
+
+class _ScriptedPeer(AsyncHttpServer):
+    """Serves scripted (status, payload, headers) responses per path."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.responses: "dict[str, list[tuple]]" = {}
+        self.requests: "list[str]" = []
+        self.schema = SCHEMA_VERSION
+
+    def script(self, path: str, *responses) -> None:
+        self.responses[path] = list(responses)
+
+    async def handle(self, method, path, headers, body):
+        self.requests.append(f"{method} {path}")
+        if path == "/schema":
+            return 200, {"schema": self.schema}
+        queued = self.responses.get(path)
+        if queued:
+            response = queued.pop(0) if len(queued) > 1 else queued[0]
+            return response
+        return 404, {"error": "no such object"}
+
+
+@pytest.fixture()
+def scripted():
+    peer = _ScriptedPeer()
+    with serve_in_thread(peer):
+        yield peer
+
+
+class TestHostilePeers:
+    def test_truncated_payload_quarantined_then_refetched(
+        self, scripted, tmp_path
+    ):
+        digest = result_digest(("q",))
+        good = json.dumps({
+            "schema": SCHEMA_VERSION, "kind": "sim-result",
+            "workload": "w", "prefetcher": "p",
+            "payload": {},
+        }).encode()
+        # First response truncated (digest header of the *full* bytes),
+        # second intact: the client must quarantine, refetch, succeed.
+        scripted.script(
+            f"/result/{digest}",
+            (200, good[: len(good) // 2], {
+                DIGEST_HEADER: payload_digest(good)
+            }),
+            (200, good, {DIGEST_HEADER: payload_digest(good)}),
+        )
+        remote = _remote(scripted.url)
+        payload = remote.fetch("result", digest)
+        assert payload == good
+        assert remote.stats.quarantined == 1
+        assert remote.stats.hits == 1
+
+    def test_persistently_bad_payload_never_written_locally(
+        self, scripted, tmp_path
+    ):
+        digest = result_digest(("bad",))
+        scripted.script(
+            f"/result/{digest}",
+            (200, b"garbage-bytes", {DIGEST_HEADER: "0" * 32}),
+        )
+        local = _store(tmp_path, "local", _remote(scripted.url))
+        assert local.load_result(digest) is None
+        assert not os.path.exists(local.result_path(digest))
+        assert local.remote.stats.quarantined == 2  # initial + refetch
+        assert local.remote.stats.errors == 1
+
+    def test_garbage_payload_with_matching_digest_dropped_locally(
+        self, scripted, tmp_path
+    ):
+        # Bytes corrupted *at rest* on the peer: transport digest
+        # matches, but the record is not a loadable result.  The local
+        # tier must treat it like any torn file — drop, miss, recompute.
+        digest = result_digest(("rot",))
+        rotten = b"\x00\x01 not json at all"
+        scripted.script(
+            f"/result/{digest}",
+            (200, rotten, {DIGEST_HEADER: payload_digest(rotten)}),
+        )
+        local = _store(tmp_path, "local", _remote(scripted.url))
+        assert local.load_result(digest) is None
+        assert not os.path.exists(local.result_path(digest))
+
+    def test_schema_mismatch_peer_is_permanently_cold(
+        self, scripted, tmp_path
+    ):
+        scripted.schema = SCHEMA_VERSION + 1
+        local = _store(tmp_path, "local", _remote(scripted.url))
+        digest = result_digest(("cold",))
+        assert local.load_result(digest) is None
+        assert local.load_result(digest) is None
+        remote = local.remote
+        assert remote.stats.schema_mismatches == 1
+        assert remote.stats.skipped >= 2
+        # The handshake ran once; no object request ever went out.
+        assert all(
+            request == "GET /schema" for request in scripted.requests
+        )
+        # Write-backs are refused outright on a mismatched peer.
+        assert local.save_result(digest, make_result())
+        remote.flush(timeout_s=10)
+        assert remote.stats.writebacks == 0
+
+
+# ----------------------------------------------------------------------
+# Outages: breaker opens, degrades local-only, recovers.
+# ----------------------------------------------------------------------
+
+
+class TestOutages:
+    def test_dead_peer_degrades_to_local_only(self, tmp_path):
+        # Nothing listens on this port: every touch is a transport
+        # error until the breaker opens, then pure skips.
+        remote = _remote(
+            "http://127.0.0.1:9", timeout_s=0.2, breaker_failures=2
+        )
+        local = _store(tmp_path, "local", remote)
+        digest = result_digest(("offline",))
+        for _ in range(4):
+            assert local.load_result(digest) is None
+        assert remote.stats.errors == 2
+        assert remote.stats.breaker_opens == 1
+        assert remote.stats.skipped == 2
+        # Local operation is unimpeded throughout.
+        assert local.save_result(digest, make_result())
+        assert local.load_result(digest) is not None
+
+    def test_breaker_recovers_after_cooldown(self, peer, tmp_path):
+        remote = _remote(
+            peer.url, timeout_s=0.3,
+            breaker_failures=1, breaker_cooldown_s=0.2,
+        )
+        # Sabotage the transport for one call: point at a dead port.
+        live_port = remote.port
+        remote.port = 9
+        assert remote.fetch("result", result_digest(("x",))) is None
+        assert remote.stats.breaker_opens == 1
+        remote.port = live_port
+        # Open: skipped without touching the network.
+        assert remote.fetch("result", result_digest(("x",))) is None
+        assert remote.stats.skipped == 1
+        time.sleep(0.25)
+        # Cooldown elapsed: the probe goes through and closes it.
+        digest = result_digest(("back",))
+        peer.store.save_result(digest, make_result())
+        assert remote.fetch("result", digest) is not None
+        assert remote.stats.hits == 1
+        assert not remote._breaker.is_open
+
+    def test_timeout_then_recover_write_back(self, peer, tmp_path):
+        remote = _remote(
+            peer.url, timeout_s=0.3,
+            breaker_failures=1, breaker_cooldown_s=0.1, retries=3,
+            backoff_base_s=0.15,
+        )
+        local = _store(tmp_path, "local", remote)
+        # Verify the schema stamp while the peer is healthy, then
+        # sabotage the transport: the first PUT times out and opens the
+        # breaker; the bounded-backoff retry outlasts the cooldown.
+        assert not remote.head("result", result_digest(("probe",)))
+        live_port = remote.port
+        remote.port = 9  # first attempt fails, opens the breaker
+        digest = result_digest(("flaky",))
+        assert local.save_result(digest, make_result())
+        time.sleep(0.05)
+        remote.port = live_port
+        # Retries with backoff outlast the cooldown and land the flush.
+        assert remote.flush(timeout_s=30)
+        assert remote.stats.writebacks == 1
+        assert os.path.exists(peer.store.result_path(digest))
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_after_n_and_reprobes_after_cooldown(self):
+        breaker = CircuitBreaker(failures=2, cooldown_s=0.05)
+        assert breaker.allow()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # second failure opens it
+        assert breaker.is_open and not breaker.allow()
+        time.sleep(0.06)
+        assert breaker.allow()  # half-open probe
+        assert breaker.record_failure()  # re-opens, counted as an open
+        time.sleep(0.06)
+        breaker.record_success()
+        assert breaker.allow() and not breaker.is_open
+
+
+# ----------------------------------------------------------------------
+# GC pinning: queued write-backs survive eviction pressure.
+# ----------------------------------------------------------------------
+
+
+class _StalledPeer(AsyncHttpServer):
+    """Accepts /schema, then blocks every object request on an event."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.release = threading.Event()
+
+    async def handle(self, method, path, headers, body):
+        if path == "/schema":
+            return 200, {"schema": SCHEMA_VERSION}
+        import asyncio
+
+        while not self.release.is_set():
+            await asyncio.sleep(0.01)
+        return 200, {"stored": True}
+
+
+class TestGcPinning:
+    def test_gc_does_not_evict_queued_write_backs(self, tmp_path):
+        stalled = _StalledPeer()
+        with serve_in_thread(stalled):
+            remote = _remote(stalled.url, timeout_s=30.0)
+            local = _store(tmp_path, "local", remote)
+            digest = result_digest(("pinned",))
+            assert local.save_result(digest, make_result())
+            # The upload is now stalled inside the peer; the entry is
+            # hot on the queue.  A brutal GC pass must spare it.
+            deadline = time.monotonic() + 5
+            while (
+                local.result_path(digest) not in remote.pending_paths()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert local.result_path(digest) in remote.pending_paths()
+            evicted = local.gc(max_bytes=0)
+            assert evicted == 0
+            assert os.path.exists(local.result_path(digest))
+            stalled.release.set()
+            assert remote.flush(timeout_s=30)
+        # Flushed: the pin is gone and GC reclaims normally.
+        assert local.result_path(digest) not in remote.pending_paths()
+        assert local.gc(max_bytes=0) == 1
+        assert not os.path.exists(local.result_path(digest))
+
+
+# ----------------------------------------------------------------------
+# Two-process write-back race: last-writer-wins, byte-identical.
+# ----------------------------------------------------------------------
+
+
+def _write_back_same_result(peer_url: str, root: str, barrier) -> None:
+    store = ArtifactStore(
+        root,
+        remote=RemoteStore(RemoteConfig(url=peer_url, timeout_s=10.0)),
+    )
+    digest = result_digest(("race",))
+    barrier.wait()  # both processes save + flush together
+    assert store.save_result(digest, make_result())
+    assert store.remote.flush(timeout_s=30)
+    store.close_remote()
+
+
+class TestWriteBackRace:
+    def test_two_process_race_converges_byte_identical(
+        self, peer, tmp_path
+    ):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_write_back_same_result,
+                args=(peer.url, str(tmp_path / f"host-{i}"), barrier),
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        digest = result_digest(("race",))
+        with open(peer.store.result_path(digest), "rb") as handle:
+            landed = handle.read()
+        with open(
+            ArtifactStore(
+                str(tmp_path / "host-0"), remote=None
+            ).result_path(digest),
+            "rb",
+        ) as handle:
+            assert handle.read() == landed
+        # And the landed record decodes cleanly (no torn interleaving).
+        record = json.loads(landed)
+        assert record["schema"] == SCHEMA_VERSION
+
+
+# ----------------------------------------------------------------------
+# Environment wiring and counters.
+# ----------------------------------------------------------------------
+
+
+class TestEnvAndCounters:
+    def test_from_env_reads_url_and_kill_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REMOTE_URL", raising=False)
+        assert RemoteStore.from_env() is None
+        monkeypatch.setenv("REPRO_REMOTE_URL", "http://127.0.0.1:18080")
+        remote = RemoteStore.from_env()
+        assert remote is not None and remote.port == 18080
+        monkeypatch.setenv("REPRO_REMOTE", "off")
+        assert not remote_enabled()
+        assert RemoteStore.from_env() is None
+
+    def test_store_auto_attaches_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_REMOTE_URL", "http://127.0.0.1:18081")
+        store = ArtifactStore(str(tmp_path / "s"))
+        assert store.remote is not None
+        assert store.remote.port == 18081
+
+    def test_publish_remote_stats_is_delta_idempotent(
+        self, peer, tmp_path
+    ):
+        local = _store(tmp_path, "local", _remote(peer.url))
+        digest = result_digest(("pub",))
+        peer.store.save_result(digest, make_result())
+        assert local.load_result(digest) is not None
+        local.publish_remote_stats()
+        local.publish_remote_stats()  # no growth: no double counting
+        assert local.counters().get("remote_hits") == 1
+        assert local.describe()["remote"]["url"] == peer.url
+
+    def test_session_folds_remote_stats(self, peer, tmp_path):
+        from repro.sim.session import SimSession
+
+        local = _store(tmp_path, "local", _remote(peer.url))
+        digest = result_digest(("fold",))
+        peer.store.save_result(digest, make_result())
+        assert local.load_result(digest) is not None
+        session = SimSession(enabled=True, store=local)
+        session.fold_remote_stats()
+        session.fold_remote_stats()
+        assert session.stats.remote_hits == 1
