@@ -10,6 +10,11 @@ from repro.analysis.report import (
     grouped_bar_chart,
     series_table,
 )
+from repro.analysis.stats import (
+    CIEstimate,
+    bootstrap_ci,
+    stratified_estimates,
+)
 from repro.analysis.streams import (
     StreamStatistics,
     extract_streams,
@@ -17,6 +22,9 @@ from repro.analysis.streams import (
 )
 
 __all__ = [
+    "CIEstimate",
+    "bootstrap_ci",
+    "stratified_estimates",
     "measure_mlp",
     "measure_suite_mlp",
     "bar_chart",

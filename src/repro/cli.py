@@ -29,7 +29,15 @@ import time
 from typing import Sequence
 
 from repro.analysis.report import format_percent, format_table
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    EXPERIMENTS,
+    SAMPLED_EXPERIMENTS,
+    run_experiment,
+)
+from repro.experiments.common import (
+    add_sampling_arguments,
+    sampling_spec_from_args,
+)
 from repro.sim.metrics import SimResult
 from repro.sim.runner import (
     PrefetcherKind,
@@ -261,6 +269,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     options: dict = {"scale": args.scale}
+    spec = sampling_spec_from_args(args)
+    if spec.active:
+        if args.name not in SAMPLED_EXPERIMENTS:
+            print(
+                f"error: --budget/--ci-width need a sampled-capable "
+                f"experiment ({', '.join(sorted(SAMPLED_EXPERIMENTS))}), "
+                f"not {args.name}",
+                file=sys.stderr,
+            )
+            return 2
+        options.update(
+            budget=spec.budget,
+            confidence=spec.confidence,
+            ci_width=spec.ci_width,
+        )
     if args.jobs is not None:
         from repro.sim.runner import ExperimentRunner
 
@@ -320,6 +343,15 @@ def _entry_label(entry) -> str:
                 f"{record.get('workload', '?')} / "
                 f"{record.get('prefetcher', '?')}"
             )
+        if entry.kind == "estimate":
+            import json
+
+            with open(entry.path, "rb") as handle:
+                payload = json.load(handle).get("payload", {})
+            return (
+                f"{payload.get('experiment', '?')} sampled "
+                f"{payload.get('budget', '?')}/{payload.get('total', '?')}"
+            )
         import numpy as np
 
         return str(np.load(entry.path)["meta_name"][0])
@@ -367,6 +399,10 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
             "results",
             f"{info['results']} ({_format_size(info['result_bytes'])})",
         ],
+        [
+            "estimates",
+            f"{info['estimates']} ({_format_size(info['estimate_bytes'])})",
+        ],
         ["total", _format_size(info["total_bytes"])],
         ["size cap", cap],
     ]
@@ -391,6 +427,23 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
             f"{zero_copy / (zero_copy + pickled):.0%} "
             f"({_format_size(zero_copy)} shm vs "
             f"{_format_size(pickled)} pickled)",
+        ])
+    # Sampling effectiveness: what share of sweep cells ran under a
+    # budget (with bootstrap intervals) versus the exact full grid, and
+    # how much refinement re-runs reused instead of re-simulating.
+    sampled = counters.get("sampling_sampled_cells", 0)
+    exact = counters.get("sampling_exact_cells", 0)
+    if sampled or exact:
+        rows.append([
+            "sampled cell share",
+            f"{sampled / (sampled + exact):.0%} "
+            f"({sampled} sampled vs {exact} exact)",
+        ])
+    reused = counters.get("sampling_reused_cells", 0)
+    if reused:
+        rows.append([
+            "refinement reuse",
+            f"{reused} cells answered by the store across re-runs",
         ])
     # Service effectiveness: per-endpoint hit rate and mean latency
     # derived from the daemon's persisted request counters.
@@ -440,7 +493,13 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
     store = _open_store(args)
     if args.clear:
         removed = store.clear()
-        print(f"cleared {removed} entries from {store.root}")
+        skipped = store.stats.pinned_skipped
+        pinned = (
+            f" ({skipped} kept: pinned by pending write-backs)"
+            if skipped
+            else ""
+        )
+        print(f"cleared {removed} entries from {store.root}{pinned}")
         return 0
     max_bytes = (
         int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
@@ -806,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the simulation grid "
         "(default: REPRO_JOBS or the CPU count)",
     )
+    add_sampling_arguments(sub)
     add_cache_options(sub)
     sub.set_defaults(entry=cmd_experiment)
 

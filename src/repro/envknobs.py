@@ -1,0 +1,61 @@
+"""Warn-once parsing of numeric ``REPRO_*`` environment knobs.
+
+Several tuning knobs used to swallow a malformed value silently and
+fall back to their default (``REPRO_STORE_MAX_MB``,
+``REPRO_STORE_TMP_MAX_AGE_S``, the remote-tier timeout/retry/breaker
+knobs), while the equivalent misparse of ``REPRO_JOBS`` or
+``REPRO_SHARD_MIN_CELLS`` warned.  This module is the shared fix: one
+:class:`RuntimeWarning` per knob per process, then the documented
+default — a typo'd environment can no longer silently un-cap a store
+or reshape the circuit breaker.
+
+An *empty* value is treated as unset (no warning): ``REPRO_X= cmd`` is
+a common way to explicitly clear a knob in shell scripts.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+#: Knob names that have already warned this process (warn-once state;
+#: tests reset it between cases).
+_WARNED_ENV_KEYS: "set[str]" = set()
+
+
+def _warn_once(name: str, raw: str, expected: str) -> None:
+    if name in _WARNED_ENV_KEYS:
+        return
+    _WARNED_ENV_KEYS.add(name)
+    warnings.warn(
+        f"invalid {name}={raw!r} (expected {expected}); "
+        "using the default",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def env_float(name: str, default):
+    """``float(os.environ[name])``, or ``default`` when the knob is
+    unset/empty; a malformed value warns once and falls back."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        _warn_once(name, raw, "a number")
+        return default
+
+
+def env_int(name: str, default):
+    """``int(os.environ[name])``, or ``default`` when the knob is
+    unset/empty; a malformed value warns once and falls back."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        _warn_once(name, raw, "an integer")
+        return default

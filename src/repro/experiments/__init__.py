@@ -51,6 +51,10 @@ EXPERIMENTS = {
     "mix-contention": mix_contention.run,
 }
 
+#: Experiments whose drivers accept the budgeted-sampling options
+#: (``budget`` / ``confidence`` / ``ci_width`` / ``sample_seeds``).
+SAMPLED_EXPERIMENTS = frozenset({"fig8", "mix-contention"})
+
 
 def run_experiment(name: str, **options: object) -> ExperimentResult:
     """Run one experiment by id (see :data:`EXPERIMENTS`)."""
@@ -65,6 +69,7 @@ def run_experiment(name: str, **options: object) -> ExperimentResult:
 
 __all__ = [
     "EXPERIMENTS",
+    "SAMPLED_EXPERIMENTS",
     "ExperimentResult",
     "ShapeCheck",
     "run_experiment",

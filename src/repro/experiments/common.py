@@ -11,12 +11,16 @@ checks encode what must hold for the reproduction to be faithful.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro.analysis.stats import CIEstimate, stratified_estimates
 from repro.sim.metrics import SimResult
 from repro.sim.runner import ExperimentRunner, SimJob
-from repro.sim.session import SimSession
+from repro.sim.sampling import SamplingPlan, plan_sample
+from repro.sim.session import SimSession, get_session
+from repro.sim.store import estimate_digest
 
 _DEFAULT_RUNNER: "ExperimentRunner | None" = None
 
@@ -85,14 +89,271 @@ def check_monotone(
     values: Sequence[float],
     increasing: bool = True,
     tolerance: float = 0.02,
+    floor: "float | None" = None,
 ) -> bool:
-    """True when the series is monotone up to an absolute tolerance."""
+    """True when the series is monotone up to a magnitude-scaled slack.
+
+    The shape checks apply this to series whose units range from
+    coverage fractions (magnitude ~1) to traffic bytes (magnitude in
+    the thousands); a fixed absolute slack cannot serve both.
+    ``tolerance`` is therefore *relative*: the allowed backslide per
+    step is ``tolerance * max(|v|)``, with ``floor`` (default: the
+    ``tolerance`` value itself) as the absolute lower bound.  For
+    fraction-scaled series (magnitude <= 1) the behaviour is exactly
+    the historical absolute one, so no existing shape check tightens.
+    """
+    if not values:
+        return True
+    magnitude = max(abs(value) for value in values)
+    slack = max(floor if floor is not None else tolerance,
+                tolerance * magnitude)
     for earlier, later in zip(values, values[1:]):
-        if increasing and later < earlier - tolerance:
+        if increasing and later < earlier - slack:
             return False
-        if not increasing and later > earlier + tolerance:
+        if not increasing and later > earlier + slack:
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Budgeted sampled sweeps (the sampling layer's experiment-facing side).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """How (and whether) a driver runs its grid as a budgeted sample.
+
+    ``budget`` is a cell count over the (seed x sweep-point) grid;
+    ``ci_width`` optionally asks for refinement: the budget doubles
+    (nested plans, so already-simulated cells are reused) until every
+    stratum's confidence interval on the driver's target metric is at
+    most this wide, or the grid is exhausted.  ``seeds`` widens the
+    grid with per-seed replicas so strata hold enough cells to
+    estimate from.  With neither ``budget`` nor ``ci_width`` set the
+    spec is inactive and drivers take their exact full-grid path.
+    """
+
+    budget: "int | None" = None
+    confidence: float = 0.95
+    ci_width: "float | None" = None
+    seeds: int = 4
+
+    @property
+    def active(self) -> bool:
+        return self.budget is not None or self.ci_width is not None
+
+
+def add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the budgeted-sampling CLI flags on ``parser``."""
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="run a budgeted stratified sample of N grid cells instead "
+        "of the exact full grid (reported with bootstrap confidence "
+        "intervals; supported by mix-contention and fig8)",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.95, metavar="C",
+        help="confidence level for sampled-sweep intervals "
+        "(default: 0.95)",
+    )
+    parser.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="refine the sampled sweep (doubling the budget, reusing "
+        "the store) until every stratum's CI is at most this wide",
+    )
+
+
+def sampling_spec_from_args(args: argparse.Namespace) -> SamplingSpec:
+    """The :class:`SamplingSpec` encoded by parsed CLI arguments."""
+    return SamplingSpec(
+        budget=getattr(args, "budget", None),
+        confidence=getattr(args, "confidence", 0.95),
+        ci_width=getattr(args, "ci_width", None),
+    )
+
+
+@dataclass
+class SampledSweep:
+    """Everything one budgeted sampled sweep produced."""
+
+    plan: SamplingPlan
+    #: Per selected grid cell: the cell's job results, in job order.
+    cell_results: "dict[int, list[SimResult]]"
+    #: Per-stratum CI of the driver's target metric (the one a
+    #: ``ci_width`` refinement loop tightens).
+    estimates: "dict[object, CIEstimate]"
+    simulated_cells: int
+    reused_cells: int
+    #: Budget trajectory over refinement rounds (one entry per plan).
+    rounds: "list[int]"
+    confidence: float
+    #: Digest of the persisted sampled-estimate record (None when the
+    #: session has no artifact store).
+    estimate_record: "str | None" = None
+
+    def stratum_values(
+        self, metric: "Callable[[list[SimResult]], float]"
+    ) -> "dict[object, list[float]]":
+        """``metric`` evaluated per selected cell, grouped by stratum."""
+        return {
+            stratum: [metric(self.cell_results[i]) for i in indices]
+            for stratum, indices in self.plan.by_stratum().items()
+            if indices
+        }
+
+    def summary_line(self) -> str:
+        """The one-line footer the CLI/CI greps for."""
+        plan = self.plan
+        mode = "exact" if plan.exhaustive else "sampled"
+        return (
+            f"sampling: {mode} {plan.budget}/{plan.total} cells "
+            f"({plan.fraction:.0%}), {self.simulated_cells} simulated, "
+            f"{self.reused_cells} reused, "
+            f"rounds {'->'.join(str(b) for b in self.rounds)}, "
+            f"confidence {self.confidence:g}"
+        )
+
+
+def run_sampled_sweep(
+    jobs_by_cell: "Sequence[Sequence[SimJob]]",
+    strata: "Sequence[object]",
+    spec: SamplingSpec,
+    cell_metric: "Callable[[list[SimResult]], float]",
+    experiment: str,
+    grid_key: object,
+    runner: "ExperimentRunner | None" = None,
+    session: "SimSession | None" = None,
+    sample_seed: int = 0,
+) -> SampledSweep:
+    """Run a budgeted stratified sample of a sweep grid.
+
+    The selected cells go through the unchanged
+    ``run_sweep``/``ExperimentRunner.map`` path (via
+    :func:`simulate_jobs`) under their exact per-cell recipe keys, so
+    the artifact store answers any cell a previous run — sampled or
+    exact — already simulated.  That store probe is what makes
+    refinement incremental: re-running with a larger budget (or a
+    ``ci_width`` target driving the internal doubling loop) only pays
+    for the cells the previous budget did not cover.
+
+    Cells served entirely from the cache tiers count as ``reused``
+    (the refinement-reuse counter); a cell is charged as simulated
+    when any of its jobs actually ran (ceil attribution over the
+    session's ``sim_misses`` delta).
+    """
+    if len(jobs_by_cell) != len(strata):
+        raise ValueError("one stratum per grid cell required")
+    session = session if session is not None else get_session()
+    total = len(jobs_by_cell)
+    stratum_count = len(set(strata))
+    budget = (
+        spec.budget if spec.budget is not None
+        else min(total, 2 * stratum_count)
+    )
+    cell_results: "dict[int, list[SimResult]]" = {}
+    simulated_cells = 0
+    reused_cells = 0
+    rounds: "list[int]" = []
+    while True:
+        plan = plan_sample(strata, budget, seed=sample_seed)
+        rounds.append(plan.budget)
+        fresh = [i for i in plan.selected if i not in cell_results]
+        if fresh:
+            flat = [job for i in fresh for job in jobs_by_cell[i]]
+            before = session.stats.sim_misses
+            flat_results = simulate_jobs(flat, runner, session)
+            simulated_jobs = session.stats.sim_misses - before
+            cursor = 0
+            for i in fresh:
+                count = len(jobs_by_cell[i])
+                cell_results[i] = list(
+                    flat_results[cursor:cursor + count]
+                )
+                cursor += count
+            jobs_per_cell = max(len(jobs_by_cell[i]) for i in fresh)
+            fresh_simulated = min(
+                len(fresh),
+                -(-simulated_jobs // jobs_per_cell),  # ceil division
+            )
+            simulated_cells += fresh_simulated
+            reused_cells += len(fresh) - fresh_simulated
+        outcome = SampledSweep(
+            plan=plan,
+            cell_results=cell_results,
+            estimates={},
+            simulated_cells=simulated_cells,
+            reused_cells=reused_cells,
+            rounds=rounds,
+            confidence=spec.confidence,
+        )
+        outcome.estimates = stratified_estimates(
+            outcome.stratum_values(cell_metric),
+            confidence=spec.confidence,
+            seed=sample_seed,
+        )
+        if spec.ci_width is None or plan.exhaustive:
+            break
+        # A single-cell stratum yields a degenerate zero-width interval
+        # that would satisfy any target; it must refine, not stop.
+        if all(
+            estimate.n >= 2 and estimate.width <= spec.ci_width
+            for estimate in outcome.estimates.values()
+        ):
+            break
+        budget = min(total, plan.budget * 2)
+
+    stats = session.stats
+    counter_deltas: "dict[str, int]" = {
+        "sampling_reused_cells": reused_cells,
+    }
+    if plan.exhaustive:
+        stats.sampling_exact_cells += plan.budget
+        counter_deltas["sampling_exact_cells"] = plan.budget
+    else:
+        stats.sampling_sampled_cells += plan.budget
+        counter_deltas["sampling_sampled_cells"] = plan.budget
+    stats.sampling_reused_cells += reused_cells
+    if session.store is not None:
+        session.store.bump_counters(counter_deltas)
+        digest = estimate_digest(
+            (experiment, grid_key, sample_seed, plan.budget,
+             spec.confidence)
+        )
+        if session.store.save_estimate(
+            digest,
+            {
+                "experiment": experiment,
+                "sampled": not plan.exhaustive,
+                "budget": plan.budget,
+                "total": plan.total,
+                "fraction": plan.fraction,
+                "confidence": spec.confidence,
+                "rounds": rounds,
+                "simulated_cells": simulated_cells,
+                "reused_cells": reused_cells,
+                "strata": {
+                    str(stratum): estimate.as_dict()
+                    for stratum, estimate in outcome.estimates.items()
+                },
+            },
+        ):
+            outcome.estimate_record = digest
+    return outcome
+
+
+def note_exact_cells(session: "SimSession | None", cells: int) -> None:
+    """Record that a driver ran ``cells`` grid cells on its exact path.
+
+    The persistent ``sampling_exact_cells`` counter is the contrast
+    ``cache stats`` reports sampled budgets against.
+    """
+    if cells <= 0:
+        return
+    session = session if session is not None else get_session()
+    session.stats.sampling_exact_cells += cells
+    if session.store is not None:
+        session.store.bump_counter("sampling_exact_cells", cells)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

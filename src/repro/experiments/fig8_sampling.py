@@ -10,11 +10,15 @@ frequent streams get one within a few recurrences.
 
 from __future__ import annotations
 
-from repro.analysis.report import series_table
+from repro.analysis.report import format_table, series_table
+from repro.analysis.stats import stratified_estimates
 from repro.experiments.common import (
     ExperimentResult,
+    SamplingSpec,
     ShapeCheck,
     check_monotone,
+    note_exact_cells,
+    run_sampled_sweep,
     simulate_jobs,
 )
 from repro.sim.runner import (
@@ -37,11 +41,28 @@ def run(
     probabilities: "tuple[float, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
     session: "SimSession | None" = None,
+    budget: "int | None" = None,
+    confidence: float = 0.95,
+    ci_width: "float | None" = None,
+    sample_seeds: int = 4,
 ) -> ExperimentResult:
+    """With ``budget`` or ``ci_width`` set, the (workload x seed x
+    probability) grid runs as a budgeted stratified sample — every
+    probability point represented, per-point bootstrap intervals
+    instead of exact per-workload series (see ``repro.sim.sampling``).
+    """
     names = workloads if workloads is not None else DEFAULT_WORKLOADS
     points = (
         probabilities if probabilities is not None else DEFAULT_PROBABILITIES
     )
+    spec = SamplingSpec(
+        budget=budget, confidence=confidence, ci_width=ci_width,
+        seeds=sample_seeds,
+    )
+    if spec.active:
+        return _run_sampled(
+            scale, cores, seed, names, points, spec, runner, session
+        )
 
     jobs = [
         SimJob(
@@ -56,6 +77,7 @@ def run(
         for probability in points
     ]
     results = simulate_jobs(jobs, runner, session)
+    note_exact_cells(session, len(names) * len(points))
     coverage: dict[str, list[float]] = {name: [] for name in names}
     traffic: dict[str, list[float]] = {name: [] for name in names}
     update_traffic: dict[str, list[float]] = {name: [] for name in names}
@@ -97,6 +119,191 @@ def run(
         },
         checks=checks,
     )
+
+
+#: Metrics estimated per probability stratum in sampled mode;
+#: ``coverage`` is the CI-width refinement target.
+_SAMPLED_METRICS = ("coverage", "overhead", "update_traffic")
+
+
+def _cell_metrics(results) -> "dict[str, float]":
+    """Headline metrics of one sampled single-job (STMS) cell."""
+    (result,) = results
+    assert result.traffic is not None
+    return {
+        "coverage": result.coverage.coverage,
+        "overhead": result.overhead_per_useful_byte,
+        "update_traffic": result.traffic.update_index,
+    }
+
+
+def _run_sampled(
+    scale: str,
+    cores: int,
+    seed: int,
+    names: "tuple[str, ...]",
+    points: "tuple[float, ...]",
+    spec: SamplingSpec,
+    runner: "ExperimentRunner | None",
+    session: "SimSession | None",
+) -> ExperimentResult:
+    """Budgeted sampled variant of the sampling-probability sweep.
+
+    Strata are the probability points, so the sweep's shape — overhead
+    scaling with p, coverage decaying slowly — stays visible at any
+    budget; cells are (workload x seed) replicas within each point.
+    """
+    seeds = tuple(seed + i for i in range(max(1, spec.seeds)))
+    cells = [
+        (name, cell_seed, probability)
+        for name in names
+        for cell_seed in seeds
+        for probability in points
+    ]
+    strata = [probability for _, _, probability in cells]
+    jobs_by_cell = [
+        [
+            SimJob(
+                name,
+                PrefetcherKind.STMS,
+                scale=scale,
+                cores=cores,
+                seed=cell_seed,
+                stms_overrides=job_options(sampling_probability=probability),
+            )
+        ]
+        for name, cell_seed, probability in cells
+    ]
+    sweep = run_sampled_sweep(
+        jobs_by_cell,
+        strata,
+        spec,
+        cell_metric=lambda results: _cell_metrics(results)["coverage"],
+        experiment="fig8",
+        grid_key=(tuple(names), tuple(points), scale, cores, seeds),
+        runner=runner,
+        session=session,
+        sample_seed=seed,
+    )
+    estimates = {
+        metric: stratified_estimates(
+            sweep.stratum_values(
+                lambda results, _m=metric: _cell_metrics(results)[_m]
+            ),
+            confidence=spec.confidence,
+            seed=seed,
+        )
+        for metric in _SAMPLED_METRICS
+    }
+
+    ci_label = f"ci{spec.confidence * 100:g}"
+    per_stratum_n = {
+        stratum: len(indices)
+        for stratum, indices in sweep.plan.by_stratum().items()
+    }
+    rows = [
+        [
+            f"{probability:.3f}",
+            str(per_stratum_n[probability]),
+            estimates["coverage"][probability].render(),
+            estimates["overhead"][probability].render(),
+            estimates["update_traffic"][probability].render(),
+        ]
+        for probability in points
+    ]
+    rendered = "\n\n".join(
+        [
+            format_table(
+                ["sampling p", "n",
+                 f"coverage ({ci_label})",
+                 f"overhead/byte ({ci_label})",
+                 f"index updates ({ci_label})"],
+                rows,
+                title="Figure 8 (budgeted sample): per-probability "
+                "bootstrap estimates over the workload x seed grid",
+            ),
+            sweep.summary_line(),
+        ]
+    )
+
+    data = {
+        "sampled": not sweep.plan.exhaustive,
+        "sampling": {
+            "budget": sweep.plan.budget,
+            "total": sweep.plan.total,
+            "fraction": sweep.plan.fraction,
+            "confidence": spec.confidence,
+            "rounds": sweep.rounds,
+            "simulated_cells": sweep.simulated_cells,
+            "reused_cells": sweep.reused_cells,
+            "estimate_record": sweep.estimate_record,
+            "workloads": list(names),
+            "seeds": list(seeds),
+        },
+        "strata": {
+            f"{probability:g}": {
+                metric: estimates[metric][probability].as_dict()
+                for metric in _SAMPLED_METRICS
+            }
+            for probability in points
+        },
+    }
+    checks = _sampled_shape_checks(points, estimates, sweep, spec)
+    return ExperimentResult(
+        experiment="fig8",
+        title="Probabilistic update sampling sensitivity "
+        "(budgeted sample)",
+        rendered=rendered,
+        data=data,
+        checks=checks,
+    )
+
+
+def _sampled_shape_checks(
+    points: "tuple[float, ...]",
+    estimates: "dict[str, dict]",
+    sweep,
+    spec: SamplingSpec,
+) -> "list[ShapeCheck]":
+    update_means = [
+        estimates["update_traffic"][probability].mean
+        for probability in points
+    ]
+    well_formed = all(
+        est.lo <= est.mean <= est.hi and est.n >= 1
+        for metric in _SAMPLED_METRICS
+        for est in (estimates[metric][p] for p in points)
+    )
+    width_ok = (
+        spec.ci_width is None
+        or sweep.plan.exhaustive
+        or all(
+            estimates["coverage"][p].width <= spec.ci_width for p in points
+        )
+    )
+    return [
+        ShapeCheck(
+            claim="Every probability stratum is represented and its "
+            "bootstrap intervals are well-formed",
+            passed=len(points) == len(sweep.plan.by_stratum())
+            and well_formed,
+            detail=f"{len(points)} strata, "
+            f"budget {sweep.plan.budget}/{sweep.plan.total}",
+        ),
+        ShapeCheck(
+            claim="Estimated index-update traffic grows with the "
+            "sampling probability",
+            passed=check_monotone(update_means, increasing=True,
+                                  tolerance=0.05),
+            detail=" -> ".join(f"{u:.2f}" for u in update_means),
+        ),
+        ShapeCheck(
+            claim="Refinement met the requested CI width (or exhausted "
+            "the grid)",
+            passed=width_ok,
+            detail=f"rounds {sweep.rounds}",
+        ),
+    ]
 
 
 def _shape_checks(

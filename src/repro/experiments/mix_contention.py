@@ -38,10 +38,14 @@ trace.
 from __future__ import annotations
 
 from repro.analysis.report import format_percent, format_table
+from repro.analysis.stats import stratified_estimates
 from repro.experiments.common import (
     ExperimentResult,
+    SamplingSpec,
     ShapeCheck,
     check_monotone,
+    note_exact_cells,
+    run_sampled_sweep,
     simulate_jobs,
 )
 from repro.sim.metrics import SimResult, per_workload_breakdown
@@ -144,10 +148,30 @@ def run(
     workloads: "tuple[str, ...] | None" = None,
     runner: "ExperimentRunner | None" = None,
     session: "SimSession | None" = None,
+    budget: "int | None" = None,
+    confidence: float = 0.95,
+    ci_width: "float | None" = None,
+    sample_seeds: int = 4,
 ) -> ExperimentResult:
-    """Regenerate the mix-contention sweep (``workloads`` = mix specs)."""
+    """Regenerate the mix-contention sweep (``workloads`` = mix specs).
+
+    With ``budget`` (a cell count) or ``ci_width`` set, the sweep runs
+    as a budgeted stratified sample over the (mix x seed x machine
+    point) grid instead of exactly: per-point bootstrap confidence
+    intervals replace exact numbers, and re-running with a larger
+    budget only simulates the incremental cells (the store answers the
+    rest).
+    """
     mixes = workloads if workloads is not None else DEFAULT_MIXES
     points = _points(scale)
+    spec = SamplingSpec(
+        budget=budget, confidence=confidence, ci_width=ci_width,
+        seeds=sample_seeds,
+    )
+    if spec.active:
+        return _run_sampled(
+            scale, cores, seed, mixes, points, spec, runner, session
+        )
     solos = solo_workloads(mixes)
 
     jobs = [
@@ -185,6 +209,7 @@ def run(
         for kind in _KINDS
     )
     results = simulate_jobs(jobs, runner, session)
+    note_exact_cells(session, len(mixes) * len(points))
     by_tag: "dict[tuple, SimResult]" = {
         job.tag: result for job, result in zip(jobs, results)
     }
@@ -312,6 +337,199 @@ def run(
         data={"mixes": data},
         checks=checks,
     )
+
+
+#: Metrics estimated per stratum in sampled mode; ``speedup`` is the
+#: CI-width refinement target (the sweep's headline number).
+_SAMPLED_METRICS = ("speedup", "coverage", "stms_util", "overhead")
+
+
+def _cell_metrics(results: "list[SimResult]") -> "dict[str, float]":
+    """Headline metrics of one sampled (baseline, stms) cell."""
+    baseline, stms = results
+    return {
+        "speedup": stms.speedup_over(baseline),
+        "coverage": stms.coverage.coverage,
+        "stms_util": stms.dram_utilization,
+        "overhead": stms.overhead_per_useful_byte,
+    }
+
+
+def _run_sampled(
+    scale: str,
+    cores: int,
+    seed: int,
+    mixes: "tuple[str, ...]",
+    points: "list[tuple[str, tuple, tuple]]",
+    spec: SamplingSpec,
+    runner: "ExperimentRunner | None",
+    session: "SimSession | None",
+) -> ExperimentResult:
+    """Budgeted sampled variant of the contention sweep.
+
+    The grid is (mix x seed x machine point); strata are the machine
+    points, so every capacity/bandwidth point is represented at any
+    budget.  Per cell both prefetchers run (speedup needs the pair);
+    the per-workload solo-reference tables are an exact-mode detail
+    and are not part of the sampled estimate.
+    """
+    seeds = tuple(seed + i for i in range(max(1, spec.seeds)))
+    cells = [
+        (mix, cell_seed, label, cmp_overrides, dram_overrides)
+        for mix in mixes
+        for cell_seed in seeds
+        for label, cmp_overrides, dram_overrides in points
+    ]
+    strata = [label for _, _, label, _, _ in cells]
+    jobs_by_cell = [
+        [
+            SimJob(
+                mix,
+                kind,
+                scale=scale,
+                cores=cores,
+                seed=cell_seed,
+                cmp_overrides=cmp_overrides,
+                dram_overrides=dram_overrides,
+                tag=(mix, cell_seed, label, kind),
+            )
+            for kind in _KINDS
+        ]
+        for mix, cell_seed, label, cmp_overrides, dram_overrides in cells
+    ]
+    sweep = run_sampled_sweep(
+        jobs_by_cell,
+        strata,
+        spec,
+        cell_metric=lambda results: _cell_metrics(results)["speedup"],
+        experiment="mix-contention",
+        grid_key=(
+            tuple(mixes), tuple(label for label, _, _ in points),
+            scale, cores, seeds,
+        ),
+        runner=runner,
+        session=session,
+        sample_seed=seed,
+    )
+    estimates = {
+        name: stratified_estimates(
+            sweep.stratum_values(
+                lambda results, _name=name: _cell_metrics(results)[_name]
+            ),
+            confidence=spec.confidence,
+            seed=seed,
+        )
+        for name in _SAMPLED_METRICS
+    }
+
+    ci_label = f"ci{spec.confidence * 100:g}"
+    labels = [label for label, _, _ in points]
+    per_stratum_n = {
+        label: len(indices)
+        for label, indices in sweep.plan.by_stratum().items()
+    }
+    rows = [
+        [
+            label,
+            str(per_stratum_n[label]),
+            estimates["coverage"][label].render(),
+            estimates["speedup"][label].render(),
+            estimates["stms_util"][label].render(),
+            estimates["overhead"][label].render(),
+        ]
+        for label in labels
+    ]
+    rendered = "\n\n".join(
+        [
+            format_table(
+                ["point", "n",
+                 f"stms cov ({ci_label})",
+                 f"speedup ({ci_label})",
+                 f"stms util ({ci_label})",
+                 f"overhead/byte ({ci_label})"],
+                rows,
+                title="Mix contention (budgeted sample): per-point "
+                "bootstrap estimates over the mix x seed grid",
+            ),
+            sweep.summary_line(),
+        ]
+    )
+
+    data = {
+        "sampled": not sweep.plan.exhaustive,
+        "sampling": {
+            "budget": sweep.plan.budget,
+            "total": sweep.plan.total,
+            "fraction": sweep.plan.fraction,
+            "confidence": spec.confidence,
+            "rounds": sweep.rounds,
+            "simulated_cells": sweep.simulated_cells,
+            "reused_cells": sweep.reused_cells,
+            "estimate_record": sweep.estimate_record,
+            "mixes": list(mixes),
+            "seeds": list(seeds),
+        },
+        "strata": {
+            label: {
+                name: estimates[name][label].as_dict()
+                for name in _SAMPLED_METRICS
+            }
+            for label in labels
+        },
+    }
+    checks = _sampled_shape_checks(labels, estimates, sweep, spec)
+    return ExperimentResult(
+        experiment="mix-contention",
+        title="Multiprogrammed mixes under shared-memory contention "
+        "(budgeted sample)",
+        rendered=rendered,
+        data=data,
+        checks=checks,
+    )
+
+
+def _sampled_shape_checks(
+    labels: "list[str]",
+    estimates: "dict[str, dict]",
+    sweep,
+    spec: SamplingSpec,
+) -> "list[ShapeCheck]":
+    coverage_means = [estimates["coverage"][lb].mean for lb in labels]
+    well_formed = all(
+        est.lo <= est.mean <= est.hi and est.n >= 1
+        for name in _SAMPLED_METRICS
+        for est in (estimates[name][lb] for lb in labels)
+    )
+    width_ok = (
+        spec.ci_width is None
+        or sweep.plan.exhaustive
+        or all(
+            estimates["speedup"][lb].width <= spec.ci_width
+            for lb in labels
+        )
+    )
+    return [
+        ShapeCheck(
+            claim="Every machine-point stratum is represented and its "
+            "bootstrap intervals are well-formed",
+            passed=len(labels) == len(sweep.plan.by_stratum())
+            and well_formed,
+            detail=f"{len(labels)} strata, "
+            f"budget {sweep.plan.budget}/{sweep.plan.total}",
+        ),
+        ShapeCheck(
+            claim="Temporal streams survive co-scheduling in the "
+            "sampled estimate (positive STMS coverage per stratum)",
+            passed=all(value > 0.0 for value in coverage_means),
+            detail=f"min mean coverage = {min(coverage_means):.1%}",
+        ),
+        ShapeCheck(
+            claim="Refinement met the requested CI width (or exhausted "
+            "the grid)",
+            passed=width_ok,
+            detail=f"rounds {sweep.rounds}",
+        ),
+    ]
 
 
 def _shape_checks(

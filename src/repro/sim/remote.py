@@ -47,6 +47,8 @@ import time
 from dataclasses import dataclass, field, fields, replace
 from urllib.parse import urlsplit
 
+from repro.envknobs import env_float, env_int
+
 #: Response/request header carrying the blake2b digest of the payload
 #: bytes; the transport-integrity check on both directions.
 DIGEST_HEADER = "X-Repro-Payload-Digest"
@@ -68,23 +70,13 @@ def payload_digest(data: bytes) -> str:
 
 
 def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw:
-        try:
-            return float(raw)
-        except ValueError:
-            pass
-    return default
+    """Float knob with the shared warn-once misparse behaviour."""
+    return env_float(name, default)
 
 
 def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw:
-        try:
-            return int(raw)
-        except ValueError:
-            pass
-    return default
+    """Integer knob with the shared warn-once misparse behaviour."""
+    return env_int(name, default)
 
 
 def remote_enabled() -> bool:

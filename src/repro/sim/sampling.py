@@ -1,0 +1,128 @@
+"""Budgeted stratified sampling over sweep-cell grids.
+
+The paper's Section 5.5 samples the *history* (probabilistic metadata
+updates); this module samples the *experiment*: given the full
+(seed x sweep-point) cell grid of a sweep and a cell budget, it selects
+a stratified subset — stratified by the sweep axis, so every capacity /
+bandwidth / probability stratum is represented — and the selected cells
+run through the unchanged ``run_sweep``/``ExperimentRunner.map`` path
+under their exact per-cell recipe keys.  Each simulated cell is still
+an exact result; only the *aggregate* reported from them is an
+estimate (per-stratum mean + bootstrap confidence interval, see
+:mod:`repro.analysis.stats`).
+
+Two properties carry the design:
+
+* **Determinism** — the selection is a pure function of the strata,
+  the seed, and the budget.  Each stratum's internal order comes from
+  a content hash of ``(seed, stratum, cell index)``, so it does not
+  depend on which *other* strata happen to be swept.
+* **Budget-nested refinement** — ``plan_sample(strata, b1)`` selects a
+  prefix of ``plan_sample(strata, b2)`` whenever ``b1 <= b2``.  A
+  re-run with a doubled budget (or a tighter CI-width target) schedules
+  a superset of the previous cells, the artifact store answers the old
+  ones, and only the incremental cells are simulated — refinement runs
+  pay only for the cells they tighten.
+
+Selection order is a round-robin over strata in first-seen order: with
+a budget of at least the stratum count, every stratum is represented,
+and allocation stays balanced as the budget grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+def _cell_rank(seed: int, stratum: object, index: int) -> str:
+    """Deterministic per-cell sort key within one stratum.
+
+    A content digest rather than a seeded shuffle: the rank of a cell
+    depends only on ``(seed, stratum, index)``, never on the stratum's
+    size or on other strata, which is what keeps refinement plans
+    nested when the same grid is re-planned at another budget.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(f"{seed}:{stratum!r}:{index}".encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """One deterministic stratified selection over a cell grid.
+
+    ``selected`` is in *selection order* (the round-robin sequence), so
+    for two plans over the same grid and seed the smaller budget's
+    selection is a prefix of the larger one's.
+    """
+
+    selected: "tuple[int, ...]"
+    strata: "tuple[object, ...]"
+    budget: int
+    total: int
+    seed: int
+
+    @property
+    def fraction(self) -> float:
+        """Selected share of the full grid (0 for an empty grid)."""
+        return self.budget / self.total if self.total else 0.0
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when the plan degenerates to the full exact grid."""
+        return self.budget >= self.total
+
+    def by_stratum(self) -> "dict[object, list[int]]":
+        """Selected cell indices grouped by stratum (first-seen order)."""
+        grouped: "OrderedDict[object, list[int]]" = OrderedDict()
+        for stratum in self.strata:
+            grouped.setdefault(stratum, [])
+        for index in self.selected:
+            grouped[self.strata[index]].append(index)
+        return dict(grouped)
+
+
+def plan_sample(
+    strata: "list[object] | tuple[object, ...]",
+    budget: "int | None",
+    seed: int = 0,
+) -> SamplingPlan:
+    """Plan a stratified sample of ``budget`` cells over ``strata``.
+
+    ``strata[i]`` is the sweep-axis stratum of grid cell ``i``.  The
+    effective budget is clamped to ``[stratum count, grid size]`` so
+    every stratum is represented whenever the grid allows it; a
+    ``None`` budget (or one at/above the grid size) selects the whole
+    grid — the exact path, through the same machinery.
+    """
+    strata = tuple(strata)
+    total = len(strata)
+    ordered: "OrderedDict[object, list[int]]" = OrderedDict()
+    for index, stratum in enumerate(strata):
+        ordered.setdefault(stratum, []).append(index)
+    for stratum, indices in ordered.items():
+        indices.sort(key=lambda i: _cell_rank(seed, stratum, i))
+    if budget is None:
+        budget = total
+    effective = min(max(budget, len(ordered)), total) if total else 0
+    queues = {s: iter(indices) for s, indices in ordered.items()}
+    exhausted: "set[object]" = set()
+    selected: "list[int]" = []
+    while len(selected) < effective:
+        for stratum in ordered:
+            if len(selected) >= effective or stratum in exhausted:
+                continue
+            index = next(queues[stratum], None)
+            if index is None:
+                exhausted.add(stratum)
+                continue
+            selected.append(index)
+    return SamplingPlan(
+        selected=tuple(selected),
+        strata=strata,
+        budget=effective,
+        total=total,
+        seed=seed,
+    )

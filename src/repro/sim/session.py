@@ -102,6 +102,15 @@ class SessionStats:
     remote_errors: int = 0
     remote_skipped: int = 0
     remote_writebacks: int = 0
+    #: Budgeted-sampling layer (``sim/sampling.py`` via the
+    #: ``run_sampled_sweep`` helper): grid cells selected under a
+    #: budget, cells run through the same helper at full budget (the
+    #: exact contrast for ``cache stats``), and sampled cells served
+    #: warm from the cache tiers instead of simulated — nonzero reuse
+    #: on a re-run is the store-backed refinement property.
+    sampling_sampled_cells: int = 0
+    sampling_exact_cells: int = 0
+    sampling_reused_cells: int = 0
 
 
 def _freeze(value):

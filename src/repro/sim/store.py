@@ -11,9 +11,13 @@ any figure is served from disk instead of re-simulated.
 
 Layout under the store root::
 
-    schema.json            format stamp; a mismatch invalidates the store
-    traces/<digest>.npz    ``Trace.save`` archives, keyed by recipe hash
-    results/<digest>.json  versioned ``SimResult`` records
+    schema.json              format stamp; a mismatch invalidates the store
+    traces/<digest>.npz      ``Trace.save`` archives, keyed by recipe hash
+    results/<digest>.json    versioned ``SimResult`` records
+    estimates/<digest>.json  budgeted sampled-sweep aggregates, stamped
+                             ``kind: "sampled-estimate"`` so a
+                             statistical estimate can never be mistaken
+                             for an exact result
 
 Keys are digests of the session's existing content keys (trace recipes
 and ``trace fingerprint + full machine/prefetcher configuration``), so
@@ -41,6 +45,7 @@ try:  # POSIX advisory locking for the persistent-counter interlock.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro.envknobs import env_float
 from repro.memory.traffic import TrafficBreakdown
 from repro.prefetchers.base import PrefetcherStats
 from repro.sim.metrics import CoverageCounts, SimResult
@@ -116,6 +121,16 @@ def trace_digest(trace_key: object) -> str:
 def result_digest(result_key: object) -> str:
     """Digest of a full simulation key (fingerprint + configuration)."""
     return key_digest("result", result_key)
+
+
+def estimate_digest(estimate_key: object) -> str:
+    """Digest of a sampled-estimate key (experiment + grid + budget).
+
+    Distinct from :func:`result_digest` on purpose: a budgeted estimate
+    is an *aggregate* over sampled exact cells, so it must never share
+    an address space with exact per-cell records.
+    """
+    return key_digest("estimate", estimate_key)
 
 
 @dataclass(frozen=True)
@@ -285,6 +300,9 @@ class StoreStats:
     schema_invalidated: int = 0
     evictions: int = 0
     stale_temps_swept: int = 0
+    #: Entries ``gc``/``clear`` left in place because they were queued
+    #: for remote write-back (``RemoteStore.pending_paths`` pinning).
+    pinned_skipped: int = 0
 
     @property
     def hits(self) -> int:
@@ -299,7 +317,7 @@ class StoreStats:
 class StoreEntry:
     """One persisted artifact, as listed by :meth:`ArtifactStore.entries`."""
 
-    kind: str  # "trace" | "result"
+    kind: str  # "trace" | "result" | "estimate"
     digest: str
     path: str
     size_bytes: int
@@ -346,8 +364,10 @@ class ArtifactStore:
         self._running_total: "int | None" = None
         self._traces_dir = os.path.join(self.root, "traces")
         self._results_dir = os.path.join(self.root, "results")
+        self._estimates_dir = os.path.join(self.root, "estimates")
         os.makedirs(self._traces_dir, exist_ok=True)
         os.makedirs(self._results_dir, exist_ok=True)
+        os.makedirs(self._estimates_dir, exist_ok=True)
         self._check_schema()
 
     @classmethod
@@ -363,13 +383,10 @@ class ArtifactStore:
 
     @staticmethod
     def _max_bytes_from_env() -> "int | None":
-        raw = os.environ.get("REPRO_STORE_MAX_MB")
-        if not raw:
+        megabytes = env_float("REPRO_STORE_MAX_MB", None)
+        if megabytes is None:
             return None
-        try:
-            return int(float(raw) * 1024 * 1024)
-        except ValueError:
-            return None
+        return int(megabytes * 1024 * 1024)
 
     # ------------------------------------------------------------------
     # Schema stamping.
@@ -617,6 +634,67 @@ class ArtifactStore:
         return True
 
     # ------------------------------------------------------------------
+    # Sampled-estimate records.
+    # ------------------------------------------------------------------
+
+    def estimate_path(self, digest: str) -> str:
+        return os.path.join(self._estimates_dir, f"{digest}.json")
+
+    def save_estimate(self, digest: str, payload: dict) -> bool:
+        """Persist a budgeted sampled-sweep estimate atomically.
+
+        Estimates are stamped ``kind: "sampled-estimate"`` (with a
+        ``sampled: true`` marker inside the record) so a statistical
+        aggregate can never be mistaken for an exact ``sim-result`` —
+        the two kinds live in separate directories *and* separate
+        digest domains (:func:`estimate_digest`).  Estimates are local
+        derived artifacts: they are not written back to the remote tier
+        (the exact sampled cells replicate instead, and any peer can
+        re-derive the aggregate from them).
+        """
+        record = {
+            "schema": SCHEMA_VERSION,
+            "kind": "sampled-estimate",
+            "sampled": True,
+            "payload": payload,
+        }
+        path = self.estimate_path(digest)
+        try:
+            self._atomic_write_bytes(
+                path, json.dumps(record, default=_json_default).encode()
+            )
+        except OSError:
+            self.stats.write_errors += 1
+            return False
+        self.stats.writes += 1
+        self._auto_gc(path)
+        return True
+
+    def load_estimate(self, digest: str) -> "dict | None":
+        """Read a sampled-estimate payload; None on miss/corruption."""
+        path = self.estimate_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except _CORRUPT_ERRORS:
+            self._drop(path)
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != SCHEMA_VERSION
+            or record.get("kind") != "sampled-estimate"
+            or not record.get("sampled")
+            or not isinstance(record.get("payload"), dict)
+        ):
+            self._drop(path)
+            self.stats.schema_invalidated += 1
+            return None
+        self._touch(path)
+        return record["payload"]
+
+    # ------------------------------------------------------------------
     # Introspection and garbage collection.
     # ------------------------------------------------------------------
 
@@ -626,6 +704,7 @@ class ArtifactStore:
         for kind, directory, suffix in (
             ("trace", self._traces_dir, ".npz"),
             ("result", self._results_dir, ".json"),
+            ("estimate", self._estimates_dir, ".json"),
         ):
             try:
                 names = os.listdir(directory)
@@ -683,6 +762,7 @@ class ArtifactStore:
             if total <= cap:
                 break
             if entry.path in pinned:
+                self.stats.pinned_skipped += 1
                 continue
             try:
                 os.unlink(entry.path)
@@ -809,13 +889,9 @@ class ArtifactStore:
 
     @staticmethod
     def _stale_temp_age_from_env() -> float:
-        raw = os.environ.get("REPRO_STORE_TMP_MAX_AGE_S")
-        if raw:
-            try:
-                return float(raw)
-            except ValueError:
-                pass
-        return _STALE_TEMP_SECONDS
+        return env_float(
+            "REPRO_STORE_TMP_MAX_AGE_S", _STALE_TEMP_SECONDS
+        )
 
     def sweep_stale_temps(
         self, max_age_seconds: "float | None" = None
@@ -836,7 +912,12 @@ class ArtifactStore:
             max_age_seconds = self._stale_temp_age_from_env()
         cutoff = time.time() - max_age_seconds
         swept = 0
-        for directory in (self.root, self._traces_dir, self._results_dir):
+        for directory in (
+            self.root,
+            self._traces_dir,
+            self._results_dir,
+            self._estimates_dir,
+        ):
             try:
                 names = os.listdir(directory)
             except OSError:
@@ -860,19 +941,36 @@ class ArtifactStore:
     def clear(self) -> int:
         """Remove every entry (the store directory itself survives).
 
+        Entries queued for remote write-back are pinned exactly like in
+        :meth:`gc` — unlinking one mid-queue would make the background
+        writer ship a vanished file and silently drop the fleet's copy.
+        Pinned entries are skipped (tallied in
+        ``stats.pinned_skipped``) and survive until the flush lands.
+
         Stale temp files are swept too (age-gated, so a concurrent
         writer's in-flight temp survives); they do not count toward the
         returned entry total.
         """
+        pinned = (
+            self.remote.pending_paths() if self.remote is not None
+            else frozenset()
+        )
         removed = 0
+        skipped = 0
         for entry in self.entries():
+            if entry.path in pinned:
+                skipped += 1
+                continue
             try:
                 os.unlink(entry.path)
             except OSError:
                 continue
             removed += 1
         self.sweep_stale_temps()
-        self._running_total = 0
+        self.stats.pinned_skipped += skipped
+        # With pinned survivors the directory is not empty; force a
+        # rescan instead of asserting an exact zero.
+        self._running_total = None if skipped else 0
         return removed
 
     def describe(self) -> dict:
@@ -880,6 +978,7 @@ class ArtifactStore:
         entries = self.entries()
         traces = [e for e in entries if e.kind == "trace"]
         results = [e for e in entries if e.kind == "result"]
+        estimates = [e for e in entries if e.kind == "estimate"]
         return {
             "root": self.root,
             "schema": SCHEMA_VERSION,
@@ -887,6 +986,8 @@ class ArtifactStore:
             "trace_bytes": sum(e.size_bytes for e in traces),
             "results": len(results),
             "result_bytes": sum(e.size_bytes for e in results),
+            "estimates": len(estimates),
+            "estimate_bytes": sum(e.size_bytes for e in estimates),
             "total_bytes": sum(e.size_bytes for e in entries),
             "max_bytes": self.max_bytes,
             "counters": self.counters(),

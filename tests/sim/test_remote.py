@@ -382,6 +382,60 @@ class TestGcPinning:
         assert not os.path.exists(local.result_path(digest))
 
 
+class _StalledDaemon(ObjectStoreDaemon):
+    """A real object-store peer whose uploads stall until released."""
+
+    def __init__(self, root: str) -> None:
+        super().__init__(root)
+        self.release = threading.Event()
+
+    async def handle(self, method, path, headers, body):
+        if method == "PUT":
+            import asyncio
+
+            while not self.release.is_set():
+                await asyncio.sleep(0.01)
+        return await super().handle(method, path, headers, body)
+
+
+class TestClearPinning:
+    def test_clear_does_not_drop_queued_write_backs(self, tmp_path):
+        stalled = _StalledDaemon(str(tmp_path / "peer"))
+        with serve_in_thread(stalled):
+            remote = _remote(stalled.url, timeout_s=30.0)
+            local = _store(tmp_path, "local", remote)
+            digest = result_digest(("pinned-clear",))
+            assert local.save_result(digest, make_result())
+            # The upload is stalled inside the peer: the record exists
+            # only locally and on the write-back queue.  clear() must
+            # spare it exactly like gc() does.
+            deadline = time.monotonic() + 5
+            while (
+                local.result_path(digest) not in remote.pending_paths()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert local.result_path(digest) in remote.pending_paths()
+            removed = local.clear()
+            assert removed == 0
+            assert local.stats.pinned_skipped == 1
+            assert os.path.exists(local.result_path(digest))
+            stalled.release.set()
+            assert remote.flush(timeout_s=30)
+            # Replication happened from the surviving file: the peer's
+            # copy is byte-identical to the local record.
+            with open(local.result_path(digest), "rb") as handle:
+                local_bytes = handle.read()
+            with open(
+                stalled.store.result_path(digest), "rb"
+            ) as handle:
+                assert handle.read() == local_bytes
+        # The pin is gone once flushed; clear() reclaims normally.
+        assert local.result_path(digest) not in remote.pending_paths()
+        assert local.clear() == 1
+        assert not os.path.exists(local.result_path(digest))
+
+
 # ----------------------------------------------------------------------
 # Two-process write-back race: last-writer-wins, byte-identical.
 # ----------------------------------------------------------------------

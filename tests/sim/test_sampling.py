@@ -1,0 +1,111 @@
+"""Budgeted stratified sampling plans (``repro.sim.sampling``).
+
+The two properties the refinement story rests on are pinned here:
+deterministic selection and budget-nestedness (a smaller budget's
+selection is a prefix of a larger one's over the same grid and seed).
+"""
+
+import pytest
+
+from repro.sim.sampling import SamplingPlan, plan_sample
+
+
+def _grid(strata_sizes: "dict[str, int]") -> "list[str]":
+    """A flat cell grid with the given per-stratum cell counts."""
+    return [
+        stratum
+        for stratum, size in strata_sizes.items()
+        for _ in range(size)
+    ]
+
+
+class TestPlanSample:
+    def test_deterministic(self):
+        strata = _grid({"a": 5, "b": 5, "c": 5})
+        first = plan_sample(strata, budget=7, seed=3)
+        second = plan_sample(strata, budget=7, seed=3)
+        assert first == second
+
+    def test_seed_changes_selection(self):
+        strata = _grid({"a": 8, "b": 8})
+        assert (
+            plan_sample(strata, budget=4, seed=0).selected
+            != plan_sample(strata, budget=4, seed=1).selected
+        )
+
+    def test_every_stratum_represented(self):
+        strata = _grid({"a": 10, "b": 10, "c": 10, "d": 10})
+        plan = plan_sample(strata, budget=5, seed=0)
+        grouped = plan.by_stratum()
+        assert set(grouped) == {"a", "b", "c", "d"}
+        assert all(indices for indices in grouped.values())
+
+    def test_budget_clamped_to_stratum_count(self):
+        strata = _grid({"a": 3, "b": 3, "c": 3})
+        plan = plan_sample(strata, budget=1, seed=0)
+        assert plan.budget == 3  # one per stratum minimum
+        assert len({strata[i] for i in plan.selected}) == 3
+
+    def test_budget_clamped_to_total(self):
+        strata = _grid({"a": 2, "b": 2})
+        plan = plan_sample(strata, budget=100, seed=0)
+        assert plan.budget == 4
+        assert plan.exhaustive
+        assert sorted(plan.selected) == [0, 1, 2, 3]
+
+    def test_none_budget_is_exhaustive(self):
+        strata = _grid({"a": 3, "b": 2})
+        plan = plan_sample(strata, budget=None, seed=0)
+        assert plan.exhaustive and plan.budget == 5
+
+    def test_empty_grid(self):
+        plan = plan_sample([], budget=10, seed=0)
+        assert plan.selected == () and plan.total == 0
+        assert plan.fraction == 0.0
+
+    @pytest.mark.parametrize("small, large", [(4, 8), (5, 20), (3, 12)])
+    def test_budget_nested(self, small, large):
+        strata = _grid({"a": 10, "b": 10, "c": 10})
+        lo = plan_sample(strata, budget=small, seed=7)
+        hi = plan_sample(strata, budget=large, seed=7)
+        assert hi.selected[: len(lo.selected)] == lo.selected
+
+    def test_nestedness_across_doubling_chain(self):
+        strata = _grid({"a": 16, "b": 16, "c": 16, "d": 16})
+        budgets = [4, 8, 16, 32, 64]
+        plans = [plan_sample(strata, budget=b, seed=5) for b in budgets]
+        for lo, hi in zip(plans, plans[1:]):
+            assert hi.selected[: len(lo.selected)] == lo.selected
+        assert plans[-1].exhaustive
+
+    def test_selection_independent_of_other_strata(self):
+        # The cells a stratum contributes depend only on its own
+        # content hash, never on which other strata are swept.
+        narrow = plan_sample(_grid({"a": 8}), budget=4, seed=2)
+        wide = plan_sample(_grid({"a": 8, "b": 8}), budget=8, seed=2)
+        assert narrow.by_stratum()["a"] == wide.by_stratum()["a"]
+
+    def test_round_robin_balance(self):
+        strata = _grid({"a": 10, "b": 10, "c": 10})
+        plan = plan_sample(strata, budget=7, seed=0)
+        sizes = sorted(
+            len(indices) for indices in plan.by_stratum().values()
+        )
+        assert max(sizes) - min(sizes) <= 1  # balanced allocation
+
+    def test_uneven_strata_exhaust_gracefully(self):
+        strata = _grid({"a": 1, "b": 10})
+        plan = plan_sample(strata, budget=6, seed=0)
+        grouped = plan.by_stratum()
+        assert len(grouped["a"]) == 1
+        assert len(grouped["b"]) == 5
+
+
+class TestSamplingPlan:
+    def test_fraction(self):
+        plan = SamplingPlan(
+            selected=(0, 1), strata=("a", "a", "a", "a"),
+            budget=2, total=4, seed=0,
+        )
+        assert plan.fraction == 0.5
+        assert not plan.exhaustive

@@ -23,6 +23,7 @@ from repro.sim.store import (
     ArtifactStore,
     decode_result,
     encode_result,
+    estimate_digest,
     key_digest,
     result_digest,
     trace_digest,
@@ -371,3 +372,81 @@ class TestTwoTierSession:
             trace, PrefetcherKind.BASELINE, scale="test", session=session
         )
         assert session.stats.sim_misses == 3  # baseline was evicted
+
+
+# ----------------------------------------------------------------------
+# The estimates tier: sampled-sweep records, stamped and separate.
+# ----------------------------------------------------------------------
+
+
+class TestEstimateRecords:
+    def _payload(self) -> dict:
+        return {
+            "experiment": "mix-contention",
+            "sampled": True,
+            "budget": 8,
+            "total": 32,
+            "strata": {"l2x1": {"mean": 1.1, "lo": 1.0, "hi": 1.2}},
+        }
+
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        digest = estimate_digest(("mix-contention", ("grid",), 7, 8))
+        assert store.save_estimate(digest, self._payload())
+        assert store.load_estimate(digest) == self._payload()
+
+    def test_stamped_as_sampled_estimate(self, tmp_path):
+        # The on-disk record is distinguishable from exact results:
+        # separate directory, kind stamp, and sampled marker.
+        store = ArtifactStore(str(tmp_path))
+        digest = estimate_digest(("k",))
+        store.save_estimate(digest, self._payload())
+        path = store.estimate_path(digest)
+        assert "estimates" in os.path.relpath(path, store.root)
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["kind"] == "sampled-estimate"
+        assert record["sampled"] is True
+        assert record["schema"] == SCHEMA_VERSION
+
+    def test_digest_domain_separated(self):
+        key = ("same", "key")
+        assert estimate_digest(key) != result_digest(key)
+        assert estimate_digest(key) != trace_digest(key)
+
+    def test_entries_and_describe_count_estimates(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.save_estimate(estimate_digest(("a",)), self._payload())
+        kinds = {entry.kind for entry in store.entries()}
+        assert kinds == {"estimate"}
+        info = store.describe()
+        assert info["estimates"] == 1
+        assert info["estimate_bytes"] > 0
+
+    def test_corrupt_estimate_dropped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        digest = estimate_digest(("bad",))
+        store.save_estimate(digest, self._payload())
+        with open(store.estimate_path(digest), "w") as handle:
+            handle.write('{"kind": "something-else"}')
+        assert store.load_estimate(digest) is None
+        assert not os.path.exists(store.estimate_path(digest))
+
+    def test_clear_removes_estimates(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.save_estimate(estimate_digest(("a",)), self._payload())
+        store.save_result(result_digest(("r",)), make_result())
+        assert store.clear() == 2
+        assert store.entries() == []
+
+
+class TestClearUnpinned:
+    def test_clear_without_remote_removes_everything(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for i in range(3):
+            store.save_result(
+                result_digest((f"k{i}",)), make_result()
+            )
+        assert store.clear() == 3
+        assert store.stats.pinned_skipped == 0
+        assert store.entries() == []

@@ -159,7 +159,9 @@ def test_sweep_age_gate_env_override(tmp_path, monkeypatch):
     assert store.sweep_stale_temps() == 1
     assert not os.path.exists(path)
     monkeypatch.setenv("REPRO_STORE_TMP_MAX_AGE_S", "banana")
-    assert store.sweep_stale_temps() == 0  # malformed -> default gate
+    # Malformed: warns once (see repro.envknobs), keeps the 1h gate.
+    with pytest.warns(RuntimeWarning, match="REPRO_STORE_TMP_MAX_AGE_S"):
+        assert store.sweep_stale_temps() == 0
 
 
 def test_sweep_explicit_age_argument(tmp_path):

@@ -158,6 +158,41 @@ class TestCacheCli:
         assert not os.path.exists(store)
 
 
+class TestSampledExperimentCli:
+    def test_budget_rejected_for_exact_only_experiment(self, capsys):
+        code = main(
+            ["experiment", "fig4", "--scale", "test", "--budget", "4"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "sampled-capable" in err
+        assert "mix-contention" in err
+
+    def test_budgeted_experiment_reports_cis_and_counters(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        code = main(
+            ["experiment", "mix-contention", "--scale", "test",
+             "--budget", "4", "--store-dir", store]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ci95" in out
+        assert "sampling: sampled 4/" in out
+
+        assert main(["cache", "stats", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "sampling sampled cells  4" in out
+        assert "sampled cell share" in out
+        assert "estimates" in out
+
+        assert main(["cache", "ls", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+        assert "mix-contention sampled 4/" in out
+
+
 class TestCommandsSlow:
     @pytest.mark.slow
     def test_experiment_to_file(self, tmp_path, capsys):

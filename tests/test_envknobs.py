@@ -1,0 +1,115 @@
+"""Warn-once parsing of numeric REPRO_* environment knobs.
+
+Satellite regression: ``REPRO_STORE_MAX_MB``,
+``REPRO_STORE_TMP_MAX_AGE_S``, and the remote-tier numeric knobs used
+to swallow malformed values silently; they now share the warn-once
+RuntimeWarning behaviour of ``REPRO_JOBS`` via ``repro.envknobs``.
+"""
+
+import warnings
+
+import pytest
+
+from repro import envknobs
+from repro.envknobs import env_float, env_int
+from repro.sim import remote as remote_module
+from repro.sim import store as store_module
+from repro.sim.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _reset_warn_once(monkeypatch):
+    """Fresh warn-once state per test (it is per-process by design)."""
+    monkeypatch.setattr(envknobs, "_WARNED_ENV_KEYS", set())
+
+
+class TestEnvFloat:
+    def test_unset_and_empty_are_silent_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_float("REPRO_TEST_KNOB", 1.5) == 1.5
+            monkeypatch.setenv("REPRO_TEST_KNOB", "")
+            assert env_float("REPRO_TEST_KNOB", 1.5) == 1.5
+
+    def test_valid_value_never_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "2.5")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_float("REPRO_TEST_KNOB", 1.0) == 2.5
+
+    @pytest.mark.parametrize("value", ["banana", "1.2.3", "0x10"])
+    def test_invalid_value_warns_once(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_KNOB", value)
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_KNOB"):
+            assert env_float("REPRO_TEST_KNOB", 1.5) == 1.5
+        # Once per knob per process, not once per read.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_float("REPRO_TEST_KNOB", 1.5) == 1.5
+
+
+class TestEnvInt:
+    @pytest.mark.parametrize("value", ["two", "2.5", "1e3"])
+    def test_invalid_value_warns_once(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_KNOB", value)
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_KNOB"):
+            assert env_int("REPRO_TEST_KNOB", 7) == 7
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_valid_value_never_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_int("REPRO_TEST_KNOB", 7) == 42
+
+    def test_distinct_knobs_each_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KNOB_A", "x")
+        monkeypatch.setenv("REPRO_KNOB_B", "y")
+        with pytest.warns(RuntimeWarning, match="REPRO_KNOB_A"):
+            env_int("REPRO_KNOB_A", 1)
+        with pytest.warns(RuntimeWarning, match="REPRO_KNOB_B"):
+            env_int("REPRO_KNOB_B", 1)
+
+
+class TestStoreKnobs:
+    @pytest.mark.parametrize("value", ["lots", "10MB"])
+    def test_store_max_mb_misparse_warns(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_STORE_MAX_MB", value)
+        with pytest.warns(RuntimeWarning, match="REPRO_STORE_MAX_MB"):
+            assert ArtifactStore._max_bytes_from_env() is None
+
+    def test_store_max_mb_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MAX_MB", "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (
+                ArtifactStore._max_bytes_from_env() == 2 * 1024 * 1024
+            )
+
+    @pytest.mark.parametrize("value", ["soon", "1h"])
+    def test_tmp_max_age_misparse_warns(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_STORE_TMP_MAX_AGE_S", value)
+        with pytest.warns(
+            RuntimeWarning, match="REPRO_STORE_TMP_MAX_AGE_S"
+        ):
+            age = ArtifactStore._stale_temp_age_from_env()
+        assert age == store_module._STALE_TEMP_SECONDS
+
+
+class TestRemoteKnobs:
+    @pytest.mark.parametrize(
+        "name, reader, default",
+        [
+            ("REPRO_REMOTE_TIMEOUT_S", remote_module._env_float, 5.0),
+            ("REPRO_REMOTE_RETRIES", remote_module._env_int, 2),
+        ],
+    )
+    def test_remote_knob_misparse_warns(
+        self, monkeypatch, name, reader, default
+    ):
+        monkeypatch.setenv(name, "forever")
+        with pytest.warns(RuntimeWarning, match=name):
+            assert reader(name, default) == default

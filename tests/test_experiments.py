@@ -22,6 +22,33 @@ class TestCommonHelpers:
         assert not check_monotone([1.0, 0.5, 1.2])
         assert check_monotone([3.0, 2.0, 1.0], increasing=False)
 
+    def test_check_monotone_tolerance_scales_with_magnitude(self):
+        # The tolerance is relative to the series magnitude: a 1.5%
+        # dip in a series around 1000 is the same noise as a 1.5% dip
+        # in a series around 1 — the old absolute 0.02 slack failed
+        # the former and passed the latter.
+        assert check_monotone([1000.0, 985.0, 1010.0], tolerance=0.02)
+        assert not check_monotone([1000.0, 950.0, 1010.0],
+                                  tolerance=0.02)
+        assert check_monotone([1010.0, 990.0, 900.0], increasing=False,
+                              tolerance=0.02)
+
+    def test_check_monotone_small_scale_behaviour_unchanged(self):
+        # For magnitudes <= 1 the relative slack bottoms out at the
+        # tolerance itself, so the historical small-scale semantics
+        # (shape checks on coverage fractions) are untouched.
+        assert check_monotone([0.5, 0.49, 0.6], tolerance=0.02)
+        assert not check_monotone([0.5, 0.4, 0.6], tolerance=0.02)
+
+    def test_check_monotone_absolute_floor(self):
+        # By default the absolute slack floor equals the tolerance
+        # (the historical behaviour); an explicit floor lets a caller
+        # tighten it for near-zero series.
+        assert check_monotone([1e-4, 0.5e-4, 1e-4], tolerance=0.02)
+        assert not check_monotone([1e-4, 0.5e-4, 1e-4],
+                                  tolerance=0.02, floor=1e-5)
+        assert check_monotone([], tolerance=0.02)
+
     def test_geometric_mean(self):
         assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
